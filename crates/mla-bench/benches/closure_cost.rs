@@ -1,0 +1,58 @@
+//! Criterion benches for E3/A1: the coherent-closure acyclicity test
+//! (frontier form), the literal reference closure, and the classical
+//! conflict-graph serializability check, over growing executions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mla_bench::experiments::random_execution;
+use mla_core::closure::{coherent_closure_exact, CoherentClosure};
+use mla_core::serializability::is_serializable;
+use mla_core::spec::ExecContext;
+use mla_workload::synthetic::{generate, SyntheticConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure_cost");
+    for &(txns, steps) in &[(8usize, 64usize), (16, 128), (32, 256), (64, 512)] {
+        let s = generate(SyntheticConfig {
+            txns,
+            k: 3,
+            fanout: vec![2],
+            densities: vec![0.5],
+            len_min: steps / txns,
+            len_max: steps / txns,
+            entities: txns * 2,
+            seed: 0xBE,
+            ..SyntheticConfig::default()
+        });
+        let mut rng = SmallRng::seed_from_u64(1);
+        let exec = random_execution(&s.workload, &mut rng, steps);
+        let nest = s.workload.nest.clone();
+        let spec = s.workload.spec();
+
+        group.bench_with_input(
+            BenchmarkId::new("frontier", exec.len()),
+            &exec,
+            |b, exec| {
+                let ctx = ExecContext::new(exec, &nest, &spec).unwrap();
+                b.iter(|| {
+                    let c = CoherentClosure::compute(&ctx);
+                    std::hint::black_box(c.is_partial_order())
+                })
+            },
+        );
+        if exec.len() <= 128 {
+            group.bench_with_input(BenchmarkId::new("exact", exec.len()), &exec, |b, exec| {
+                let ctx = ExecContext::new(exec, &nest, &spec).unwrap();
+                b.iter(|| std::hint::black_box(coherent_closure_exact(&ctx).len()))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("sgt", exec.len()), &exec, |b, exec| {
+            b.iter(|| std::hint::black_box(is_serializable(exec)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Harness binary for experiment E9 (see DESIGN.md / EXPERIMENTS.md).
+//! Pass `--quick` for the reduced sweep.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", mla_bench::experiments::e9::run(quick).render());
+}

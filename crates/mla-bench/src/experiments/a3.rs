@@ -1,0 +1,64 @@
+//! A3 — Victim-policy ablation: who should die when a cycle is found?
+//!
+//! The paper leaves the "priority scheme ... to determine which steps
+//! should be rolled back" unspecified. This ablation compares the three
+//! implemented policies across SGT and both MLA controls on a contended
+//! banking workload.
+
+use mla_cc::VictimPolicy;
+use mla_workload::banking::{generate, BankingConfig};
+
+use crate::experiments::seeds;
+use crate::runner::{run_seeds, ControlKind};
+use crate::table::{f2, Table};
+
+/// Runs A3.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "A3: victim-policy ablation (contended banking)",
+        &["control", "policy", "thru/kt", "aborts", "wasted"],
+    );
+    let policies = [
+        VictimPolicy::Requester,
+        VictimPolicy::FewestSteps,
+        VictimPolicy::MostSteps,
+    ];
+    let b = generate(BankingConfig {
+        families: 2,
+        accounts_per_family: 3,
+        transfers: if quick { 12 } else { 24 },
+        bank_audits: 1,
+        credit_audits: 1,
+        arrival_spacing: 1,
+        zipf_theta: 0.9,
+        ..BankingConfig::default()
+    });
+    for &policy in &policies {
+        for kind in [
+            ControlKind::Sgt(policy),
+            ControlKind::MlaDetect(policy),
+            ControlKind::MlaPrevent(policy),
+        ] {
+            let agg = run_seeds(&b.workload, kind, &seeds(quick));
+            table.row(vec![
+                kind.label().to_string(),
+                policy.label().to_string(),
+                f2(agg.throughput),
+                agg.aborts.to_string(),
+                f2(agg.wasted * 100.0),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a3_covers_the_grid() {
+        let t = run(true);
+        assert_eq!(t.len(), 9);
+    }
+}

@@ -1,0 +1,82 @@
+//! E1 — Acceptance: how much larger than the serial set is `C(π, 𝔅)`?
+//!
+//! Random interleavings of a single-`π(2)`-class synthetic workload,
+//! swept over breakpoint density and nest depth. Reports the fraction of
+//! interleavings that are multilevel atomic vs. the fraction that are
+//! serial. Density 0 must collapse the former to (nearly) the latter;
+//! density 1 must accept everything.
+
+use mla_core::is_multilevel_atomic;
+use mla_workload::synthetic::{generate, SyntheticConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::experiments::random_execution;
+use crate::table::{pct, Table};
+
+/// Runs E1.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E1: random-interleaving acceptance, multilevel atomic vs serial",
+        &["k", "density", "samples", "mla-atomic", "serial"],
+    );
+    let samples = if quick { 30 } else { 150 };
+    let densities: &[f64] = if quick {
+        &[0.0, 0.5, 1.0]
+    } else {
+        &[0.0, 0.25, 0.5, 0.75, 1.0]
+    };
+    for &k in &[3usize, 4] {
+        for &d in densities {
+            let mut atomic = 0usize;
+            let mut serial = 0usize;
+            let mut rng = SmallRng::seed_from_u64(0xE1 + k as u64);
+            for round in 0..samples {
+                let s = generate(SyntheticConfig {
+                    txns: 4,
+                    k,
+                    fanout: vec![1; k - 2], // one class: density is the axis
+                    densities: vec![d; k - 2],
+                    len_min: 2,
+                    len_max: 4,
+                    entities: 6,
+                    seed: 7000 + round as u64,
+                    ..SyntheticConfig::default()
+                });
+                let exec = random_execution(&s.workload, &mut rng, 16);
+                if exec.is_serial() {
+                    serial += 1;
+                }
+                if is_multilevel_atomic(&exec, &s.workload.nest, &s.workload.spec())
+                    .expect("context builds")
+                {
+                    atomic += 1;
+                }
+            }
+            table.row(vec![
+                k.to_string(),
+                format!("{d:.2}"),
+                samples.to_string(),
+                pct(atomic as f64 / samples as f64),
+                pct(serial as f64 / samples as f64),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_shapes() {
+        let t = run(true);
+        assert_eq!(t.len(), 6);
+        // Density 1.0 row for k=3 accepts everything.
+        let full = t.cell(2, 3);
+        assert_eq!(full, "100.0%", "density 1 must accept all: {full}");
+        // Acceptance at density 1 strictly exceeds the serial fraction.
+        assert_ne!(t.cell(2, 3), t.cell(2, 4));
+    }
+}

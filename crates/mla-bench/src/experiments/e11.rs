@@ -1,0 +1,156 @@
+//! E11 (extension) — blocking vs non-blocking audits.
+//!
+//! §1 cites \[FGL\] for an audit that "does not stop transactions in
+//! progress". The escrow workload expresses that trick *inside*
+//! multilevel atomicity: transfers bank their pocket through a visible
+//! escrow entity and expose a level-2 breakpoint at the balanced point;
+//! the audit reads accounts + escrow and nests with customers at level 2
+//! instead of level 1. A straddled transfer then parks one or two steps
+//! away at its balanced point instead of having to run to completion (or
+//! stall the audit for its whole remaining duration).
+//!
+//! Both variants must — and do — observe exactly the true total. The
+//! measured outcome is a *negative* performance result worth reporting:
+//! within flat multilevel atomicity the escrow's two extra steps, its
+//! per-family entity contention, and the deadlock-resolution aborts of
+//! straddled transfers cost more than balanced-point parking saves, for
+//! short and long transfers alike and under both MLA controls. \[FGL\]'s
+//! actual construction is message-based and cooperative; the breakpoint
+//! criterion alone does not recover it for free. (An early variant of
+//! this experiment also showed why the audit must stay atomic: an
+//! interruptible audit *legally* observes torn sums when a transfer
+//! splits at its balanced point around two of the audit's reads.)
+
+use mla_cc::VictimPolicy;
+use mla_model::Value;
+use mla_workload::banking::{generate, Banking, BankingConfig};
+use mla_workload::banking_escrow::generate_escrow;
+
+use crate::runner::{run_cell, ControlKind};
+use crate::table::{f2, Table};
+
+fn audit_metrics(b: &Banking, cell: &crate::runner::CellResult) -> (f64, bool) {
+    let latencies = &cell.outcome.metrics.commit_latencies;
+    let lat = b
+        .bank_audits
+        .iter()
+        .map(|a| latencies[a.index()] as f64)
+        .sum::<f64>()
+        / b.bank_audits.len().max(1) as f64;
+    let expected = b.total_money();
+    let exact = b.bank_audits.iter().all(|&a| {
+        let sum: Value = cell
+            .outcome
+            .execution
+            .steps()
+            .iter()
+            .filter(|s| s.txn == a)
+            .map(|s| s.observed)
+            .sum();
+        sum == expected
+    });
+    (lat, exact)
+}
+
+/// Runs E11.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E11 (extension): blocking vs escrow audits, both MLA controls",
+        &[
+            "audit kind",
+            "thru/kt",
+            "audit-latency",
+            "defers",
+            "aborts",
+            "audit-exact",
+        ],
+    );
+    // Short transfers (1-3 withdrawals) and long ones (5-8 withdrawals,
+    // forced by a target amount spanning several balances): the escrow's
+    // two extra steps are pure overhead for short transfers, while long
+    // transfers profit from parking at the balanced point instead of
+    // stalling the audit (or being stalled) for their whole run.
+    let base = BankingConfig {
+        transfers: if quick { 10 } else { 20 },
+        bank_audits: 2,
+        credit_audits: 0,
+        arrival_spacing: 2,
+        ..BankingConfig::default()
+    };
+    let long = BankingConfig {
+        accounts_per_family: 10,
+        amount: 500,
+        sources_min: 5,
+        sources_max: 8,
+        ..base.clone()
+    };
+    for (label, banking, kind) in [
+        (
+            "short/blocking/prevent",
+            generate(base.clone()),
+            ControlKind::MlaPrevent(VictimPolicy::FewestSteps),
+        ),
+        (
+            "short/escrow/prevent",
+            generate_escrow(base.clone()),
+            ControlKind::MlaPrevent(VictimPolicy::FewestSteps),
+        ),
+        (
+            "long/blocking/prevent",
+            generate(long.clone()),
+            ControlKind::MlaPrevent(VictimPolicy::FewestSteps),
+        ),
+        (
+            "long/escrow/prevent",
+            generate_escrow(long.clone()),
+            ControlKind::MlaPrevent(VictimPolicy::FewestSteps),
+        ),
+        (
+            "short/blocking/detect",
+            generate(base.clone()),
+            ControlKind::MlaDetect(VictimPolicy::Requester),
+        ),
+        (
+            "short/escrow/detect",
+            generate_escrow(base),
+            ControlKind::MlaDetect(VictimPolicy::Requester),
+        ),
+        (
+            "long/blocking/detect",
+            generate(long.clone()),
+            ControlKind::MlaDetect(VictimPolicy::Requester),
+        ),
+        (
+            "long/escrow/detect",
+            generate_escrow(long),
+            ControlKind::MlaDetect(VictimPolicy::Requester),
+        ),
+    ] {
+        let cell = run_cell(&banking.workload, kind, 0xE11);
+        let (audit_latency, exact) = audit_metrics(&banking, &cell);
+        table.row(vec![
+            label.to_string(),
+            f2(cell.outcome.metrics.throughput_per_kilotick()),
+            f2(audit_latency),
+            cell.outcome.metrics.defers.to_string(),
+            cell.outcome.metrics.aborts.to_string(),
+            if exact { "yes" } else { "NO" }.to_string(),
+        ]);
+        assert!(exact, "{label}: audit observed an inconsistent total");
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_all_audits_exact() {
+        let t = run(true);
+        assert_eq!(t.len(), 8);
+        for r in 0..8 {
+            assert_eq!(t.cell(r, 5), "yes");
+        }
+    }
+}

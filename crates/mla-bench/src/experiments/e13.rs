@@ -1,0 +1,140 @@
+//! E13 (extension) — is §7-style hierarchical lock retention *sound* for
+//! multilevel atomicity?
+//!
+//! [`mla_cc::HierLocking`] is the natural adaptation of nested-
+//! transaction two-phase locking: per-entity holds, published to trust
+//! level `l` once the holder passes a level-`l` breakpoint. It is the §6
+//! delay rule minus the transitive closure — per decision it is far
+//! cheaper. This experiment runs it over workload × seed grids and asks
+//! the offline Theorem 2 oracle how often its histories are actually
+//! correctable, alongside throughput and scheduler wall cost against
+//! MLA-prevent.
+//!
+//! The result answers §7's open question empirically: where conflicts
+//! chain transitively (CAD's shared elements; banking's audit chains),
+//! lock retention alone admits non-correctable histories — the closure
+//! is not an optional optimization but the substance of the criterion.
+
+use mla_cc::{oracle, HierLocking, MlaPrevent, VictimPolicy};
+use mla_sim::{run as sim_run, SimConfig};
+use mla_workload::banking::{generate as banking, BankingConfig};
+use mla_workload::cad::{generate as cad, CadConfig};
+use mla_workload::Workload;
+
+use crate::table::{f2, pct, Table};
+
+struct Outcome {
+    correct: usize,
+    runs: usize,
+    throughput: f64,
+    wall_ms: f64,
+}
+
+fn sweep(wl: &Workload, seeds: &[u64], hier: bool) -> Outcome {
+    let mut out = Outcome {
+        correct: 0,
+        runs: 0,
+        throughput: 0.0,
+        wall_ms: 0.0,
+    };
+    let spec = wl.spec();
+    for &seed in seeds {
+        let started = std::time::Instant::now();
+        let result = if hier {
+            let mut c = HierLocking::new(wl.txn_count(), VictimPolicy::FewestSteps);
+            sim_run(
+                wl.nest.clone(),
+                wl.instances(),
+                wl.initial.iter().copied(),
+                &wl.arrivals,
+                &SimConfig::seeded(seed),
+                &mut c,
+            )
+        } else {
+            let mut c = MlaPrevent::new(wl.txn_count(), spec.clone(), VictimPolicy::FewestSteps);
+            sim_run(
+                wl.nest.clone(),
+                wl.instances(),
+                wl.initial.iter().copied(),
+                &wl.arrivals,
+                &SimConfig::seeded(seed),
+                &mut c,
+            )
+        };
+        out.wall_ms += started.elapsed().as_secs_f64() * 1e3;
+        assert!(!result.metrics.timed_out);
+        if oracle::is_correctable_outcome(&result, &wl.nest, &spec) {
+            out.correct += 1;
+        }
+        out.throughput += result.metrics.throughput_per_kilotick();
+        out.runs += 1;
+    }
+    out.throughput /= out.runs.max(1) as f64;
+    out.wall_ms /= out.runs.max(1) as f64;
+    out
+}
+
+/// Runs E13.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E13 (extension): hierarchical lock retention vs mla-prevent (soundness!)",
+        &["workload", "control", "correctable", "thru/kt", "wall-ms"],
+    );
+    let seeds: Vec<u64> = if quick {
+        (1..=4).collect()
+    } else {
+        (1..=12).collect()
+    };
+    let workloads: Vec<(String, Workload)> = vec![
+        (
+            "banking".into(),
+            banking(BankingConfig {
+                transfers: if quick { 12 } else { 20 },
+                bank_audits: 1,
+                credit_audits: 1,
+                arrival_spacing: 2,
+                ..BankingConfig::default()
+            })
+            .workload,
+        ),
+        (
+            "cad (carrier-prone)".into(),
+            cad(CadConfig {
+                modifications: 10,
+                snapshots: 2,
+                level3_unit: 2,
+                level2_unit: 0,
+                arrival_spacing: 2,
+                ..CadConfig::default()
+            })
+            .workload,
+        ),
+    ];
+    for (name, wl) in &workloads {
+        for hier in [false, true] {
+            let o = sweep(wl, &seeds, hier);
+            table.row(vec![
+                name.clone(),
+                if hier { "hier-locking" } else { "mla-prevent" }.to_string(),
+                pct(o.correct as f64 / o.runs as f64),
+                f2(o.throughput),
+                f2(o.wall_ms),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e13_prevent_always_sound_and_grid_runs() {
+        let t = run(true);
+        assert_eq!(t.len(), 4);
+        // mla-prevent rows (0 and 2) are 100% correctable.
+        assert_eq!(t.cell(0, 2), "100.0%");
+        assert_eq!(t.cell(2, 2), "100.0%");
+    }
+}

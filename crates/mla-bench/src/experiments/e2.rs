@@ -1,0 +1,76 @@
+//! E2 — Correctability: fraction of random executions whose coherent
+//! closure is acyclic (Theorem 2) vs. fraction that are
+//! conflict-serializable, under rising contention (shrinking entity
+//! pool). The gap is the §6 "fewer cycles" conjecture stated offline:
+//! every serializable execution is correctable, but not conversely.
+
+use mla_core::serializability::is_serializable;
+use mla_core::theorem::is_correctable;
+use mla_workload::synthetic::{generate, SyntheticConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::experiments::random_execution;
+use crate::table::{pct, Table};
+
+/// Runs E2.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E2: correctable (Theorem 2) vs conflict-serializable, by contention",
+        &["entities", "samples", "correctable", "serializable", "gap"],
+    );
+    let samples = if quick { 40 } else { 200 };
+    let pools: &[usize] = if quick { &[2, 6] } else { &[2, 3, 4, 6, 10] };
+    for &entities in pools {
+        let mut correctable = 0usize;
+        let mut serializable = 0usize;
+        let mut rng = SmallRng::seed_from_u64(0xE2);
+        for round in 0..samples {
+            let s = generate(SyntheticConfig {
+                txns: 4,
+                k: 3,
+                fanout: vec![1],
+                densities: vec![0.6],
+                len_min: 2,
+                len_max: 4,
+                entities,
+                zipf_theta: 0.0,
+                seed: 8800 + round as u64,
+                ..SyntheticConfig::default()
+            });
+            let exec = random_execution(&s.workload, &mut rng, 16);
+            let c = is_correctable(&exec, &s.workload.nest, &s.workload.spec())
+                .expect("context builds");
+            let z = is_serializable(&exec);
+            assert!(
+                c || !z,
+                "a serializable execution must be correctable (round {round})"
+            );
+            correctable += c as usize;
+            serializable += z as usize;
+        }
+        table.row(vec![
+            entities.to_string(),
+            samples.to_string(),
+            pct(correctable as f64 / samples as f64),
+            pct(serializable as f64 / samples as f64),
+            pct((correctable - serializable) as f64 / samples as f64),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_gap_nonnegative() {
+        let t = run(true);
+        assert_eq!(t.len(), 2);
+        for r in 0..t.len() {
+            let gap: f64 = t.cell(r, 4).trim_end_matches('%').parse().unwrap();
+            assert!(gap >= 0.0, "correctable ⊇ serializable");
+        }
+    }
+}

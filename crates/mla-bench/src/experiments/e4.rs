@@ -1,0 +1,79 @@
+//! E4 — Throughput and latency vs. offered load, all controls, banking.
+//!
+//! The paper's headline open question: "whether new concurrency control
+//! algorithms which achieve multilevel atomicity can be made to operate
+//! much more efficiently than existing concurrency control algorithms
+//! which achieve serializability." Transfers with the phase breakpoint
+//! plus audits; offered load scales with the number of concurrently
+//! injected transfers.
+
+use mla_cc::VictimPolicy;
+use mla_workload::banking::{generate, BankingConfig};
+
+use crate::experiments::seeds;
+use crate::runner::{run_seeds, ControlKind};
+use crate::table::{f2, Table};
+
+/// Runs E4.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E4: banking throughput/latency vs offered load",
+        &[
+            "transfers",
+            "control",
+            "thru/kt",
+            "latency",
+            "aborts",
+            "defers",
+        ],
+    );
+    let loads: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32, 64] };
+    let policy = VictimPolicy::FewestSteps;
+    let controls = [
+        ControlKind::Serial,
+        ControlKind::TwoPl,
+        ControlKind::Timestamp,
+        ControlKind::Sgt(policy),
+        ControlKind::MlaPrevent(policy),
+        ControlKind::MlaDetect(policy),
+    ];
+    for &transfers in loads {
+        let b = generate(BankingConfig {
+            transfers,
+            bank_audits: 1,
+            credit_audits: 2,
+            arrival_spacing: 2, // dense injection: real concurrency
+            ..BankingConfig::default()
+        });
+        for &kind in &controls {
+            let agg = run_seeds(&b.workload, kind, &seeds(quick));
+            table.row(vec![
+                transfers.to_string(),
+                kind.label().to_string(),
+                f2(agg.throughput),
+                f2(agg.latency),
+                agg.aborts.to_string(),
+                agg.defers.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4_runs_and_mla_prevent_beats_serial() {
+        let t = run(true);
+        assert_eq!(t.len(), 12);
+        // Row 0 = serial, row 4 = mla-prevent at the lightest load.
+        let serial: f64 = t.cell(0, 2).parse().unwrap();
+        let prevent: f64 = t.cell(4, 2).parse().unwrap();
+        assert!(
+            prevent >= serial,
+            "mla-prevent ({prevent}) should beat serial ({serial})"
+        );
+    }
+}

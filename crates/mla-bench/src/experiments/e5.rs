@@ -1,0 +1,74 @@
+//! E5 — Aborts under contention: SGT vs MLA-detect.
+//!
+//! §6: "Presumably, fewer cycles would be detected using the multilevel
+//! atomicity definition than if strict serializability were required,
+//! leading to fewer rollbacks." Banking transfers with the phase
+//! breakpoint, contention controlled by the size of the account pool
+//! (fewer accounts = more conflicts).
+
+use mla_cc::VictimPolicy;
+use mla_workload::banking::{generate, BankingConfig};
+
+use crate::experiments::seeds;
+use crate::runner::{run_seeds, ControlKind};
+use crate::table::{f2, Table};
+
+/// Runs E5.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E5: aborts under contention, SGT (serializability) vs MLA-detect",
+        &[
+            "accounts",
+            "sgt-aborts",
+            "mla-aborts",
+            "sgt-thru",
+            "mla-thru",
+        ],
+    );
+    let pools: &[(usize, usize)] = if quick {
+        &[(1, 2), (2, 4)]
+    } else {
+        &[(1, 2), (1, 4), (2, 4), (4, 4), (8, 4)]
+    };
+    let policy = VictimPolicy::FewestSteps;
+    for &(families, accounts_per_family) in pools {
+        let b = generate(BankingConfig {
+            families,
+            accounts_per_family,
+            transfers: if quick { 12 } else { 24 },
+            bank_audits: 0,
+            credit_audits: 0,
+            arrival_spacing: 2,
+            intra_family_ratio: 0.7,
+            ..BankingConfig::default()
+        });
+        let sgt = run_seeds(&b.workload, ControlKind::Sgt(policy), &seeds(quick));
+        let mla = run_seeds(&b.workload, ControlKind::MlaDetect(policy), &seeds(quick));
+        table.row(vec![
+            (families * accounts_per_family).to_string(),
+            sgt.aborts.to_string(),
+            mla.aborts.to_string(),
+            f2(sgt.throughput),
+            f2(mla.throughput),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_mla_aborts_no_more_than_sgt() {
+        let t = run(true);
+        for r in 0..t.len() {
+            let sgt: u64 = t.cell(r, 1).parse().unwrap();
+            let mla: u64 = t.cell(r, 2).parse().unwrap();
+            assert!(
+                mla <= sgt,
+                "row {r}: MLA ({mla}) must not abort more than SGT ({sgt})"
+            );
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! E6 — Audit interference (§1's motivating scenario, quantified).
+//!
+//! The whole-bank audit must be atomic with respect to transfers; under
+//! serializability the transfers must *also* be atomic with respect to
+//! each other, so a running audit (or a contended moment) stalls
+//! everything. Under multilevel atomicity the transfers keep weaving at
+//! their phase boundaries while the audit serializes against them.
+//! Reports transfer throughput and audit commit latency, with audits on
+//! and off.
+
+use mla_cc::VictimPolicy;
+use mla_workload::banking::{generate, Banking, BankingConfig};
+
+use crate::runner::{run_cell, ControlKind};
+use crate::table::{f2, Table};
+
+/// Mean commit latency of the audit transactions (all transactions
+/// commit, so `commit_latencies` is indexed by TxnId).
+fn audit_latency(b: &Banking, latencies: &[u64]) -> f64 {
+    if b.bank_audits.is_empty() {
+        return 0.0;
+    }
+    b.bank_audits
+        .iter()
+        .map(|a| latencies[a.index()] as f64)
+        .sum::<f64>()
+        / b.bank_audits.len() as f64
+}
+
+/// Runs E6.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E6: audit interference (transfer throughput, audit latency)",
+        &[
+            "audits",
+            "control",
+            "thru/kt",
+            "audit-latency",
+            "aborts",
+            "defers",
+        ],
+    );
+    let policy = VictimPolicy::FewestSteps;
+    let controls = [
+        ControlKind::TwoPl,
+        ControlKind::MlaPrevent(policy),
+        ControlKind::MlaDetect(policy),
+    ];
+    for &audits in &[0usize, 2] {
+        let b = generate(BankingConfig {
+            transfers: if quick { 12 } else { 24 },
+            bank_audits: audits,
+            credit_audits: 0,
+            arrival_spacing: 2,
+            ..BankingConfig::default()
+        });
+        for &kind in &controls {
+            let cell = run_cell(&b.workload, kind, 0xE6);
+            table.row(vec![
+                audits.to_string(),
+                kind.label().to_string(),
+                f2(cell.outcome.metrics.throughput_per_kilotick()),
+                f2(audit_latency(&b, &cell.outcome.metrics.commit_latencies)),
+                cell.outcome.metrics.aborts.to_string(),
+                cell.outcome.metrics.defers.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_rows_and_zero_audit_latency_without_audits() {
+        let t = run(true);
+        assert_eq!(t.len(), 6);
+        for r in 0..3 {
+            assert_eq!(t.cell(r, 3), "0.00", "no audits, no audit latency");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! E7 — The value of hierarchy depth (CAD, §2 Application 2).
+//!
+//! The CAD 5-nest expresses a *trust gradient*: team-mates interleave
+//! anywhere, specialty colleagues at small units, strangers at coarse
+//! consistency points, snapshots nowhere. Sweeping the breakpoint
+//! hierarchy from fully atomic (serializability) to the full gradient
+//! measures what each level of trust buys.
+
+use mla_cc::VictimPolicy;
+use mla_workload::cad::{generate, CadConfig};
+
+use crate::experiments::seeds;
+use crate::runner::{run_seeds, ControlKind};
+use crate::table::{f2, Table};
+
+/// Runs E7.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E7: CAD throughput vs breakpoint hierarchy depth (mla-prevent)",
+        &["hierarchy", "thru/kt", "latency", "defers", "aborts"],
+    );
+    let rows: &[(usize, usize, &str)] = &[
+        (0, 0, "atomic (serializable)"),
+        (4, 0, "specialty/4"),
+        (2, 0, "specialty/2"),
+        (2, 4, "specialty/2 + global/4"),
+        (1, 2, "specialty/1 + global/2"),
+    ];
+    for &(l3, l2, label) in rows {
+        let c = generate(CadConfig {
+            modifications: if quick { 10 } else { 18 },
+            snapshots: 2,
+            level3_unit: l3,
+            level2_unit: l2,
+            arrival_spacing: 2,
+            ..CadConfig::default()
+        });
+        let agg = run_seeds(
+            &c.workload,
+            ControlKind::MlaPrevent(VictimPolicy::FewestSteps),
+            &seeds(quick),
+        );
+        table.row(vec![
+            label.to_string(),
+            f2(agg.throughput),
+            f2(agg.latency),
+            agg.defers.to_string(),
+            agg.aborts.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_deepest_hierarchy_reduces_waiting() {
+        // Makespan (and hence throughput) is tail-dominated by the
+        // serializing snapshots, so the sensitive metrics are commit
+        // latency and breakpoint waits: both must improve with depth.
+        let t = run(true);
+        assert_eq!(t.len(), 5);
+        let atomic_latency: f64 = t.cell(0, 2).parse().unwrap();
+        let deepest_latency: f64 = t.cell(4, 2).parse().unwrap();
+        assert!(
+            deepest_latency <= atomic_latency,
+            "full gradient latency ({deepest_latency}) should not exceed \
+             atomic ({atomic_latency})"
+        );
+        let atomic_defers: u64 = t.cell(0, 3).parse().unwrap();
+        let deepest_defers: u64 = t.cell(4, 3).parse().unwrap();
+        assert!(
+            deepest_defers <= atomic_defers,
+            "full gradient should wait less ({deepest_defers} vs {atomic_defers})"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! E8 — Degeneration/crossover: breakpoint density from 0 to 1.
+//!
+//! §4.3's two special cases as the endpoints of one dial: density 0
+//! (no breakpoints) is exactly serializability; density 1 within a
+//! single `π(2)` class is exactly arbitrary interleaving (and equals
+//! Garcia-Molina's compatibility sets). The sweep reports offline
+//! acceptance (Theorem 2 correctability of random interleavings) and
+//! online throughput under MLA-detect.
+
+use mla_cc::VictimPolicy;
+use mla_core::serializability::is_serializable;
+use mla_core::theorem::is_correctable;
+use mla_workload::synthetic::{generate, SyntheticConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::experiments::{random_execution, seeds};
+use crate::runner::{run_seeds, ControlKind};
+use crate::table::{f2, pct, Table};
+
+/// Runs E8.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E8: density crossover (offline acceptance + mla-detect throughput)",
+        &[
+            "density",
+            "correctable",
+            "serializable",
+            "agree@0",
+            "thru/kt",
+        ],
+    );
+    let densities: &[f64] = if quick {
+        &[0.0, 0.5, 1.0]
+    } else {
+        &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+    };
+    let samples = if quick { 30 } else { 120 };
+    for &d in densities {
+        let mut correctable = 0usize;
+        let mut serializable = 0usize;
+        let mut agree = true;
+        let mut rng = SmallRng::seed_from_u64(0xE8);
+        for round in 0..samples {
+            let s = generate(SyntheticConfig {
+                txns: 4,
+                k: 3,
+                fanout: vec![1],
+                densities: vec![d],
+                len_min: 2,
+                len_max: 4,
+                entities: 4,
+                seed: 600 + round as u64,
+                ..SyntheticConfig::default()
+            });
+            let exec = random_execution(&s.workload, &mut rng, 16);
+            let c = is_correctable(&exec, &s.workload.nest, &s.workload.spec()).unwrap();
+            let z = is_serializable(&exec);
+            correctable += c as usize;
+            serializable += z as usize;
+            if d == 0.0 && c != z {
+                agree = false;
+            }
+        }
+        // Online: simulate under MLA-detect at this density.
+        let sim = generate(SyntheticConfig {
+            txns: if quick { 10 } else { 20 },
+            k: 3,
+            fanout: vec![1],
+            densities: vec![d],
+            len_min: 3,
+            len_max: 5,
+            entities: 6,
+            zipf_theta: 0.8,
+            arrival_spacing: 2,
+            seed: 0xE8,
+        });
+        let agg = run_seeds(
+            &sim.workload,
+            ControlKind::MlaDetect(VictimPolicy::FewestSteps),
+            &seeds(quick),
+        );
+        table.row(vec![
+            format!("{d:.1}"),
+            pct(correctable as f64 / samples as f64),
+            pct(serializable as f64 / samples as f64),
+            if d == 0.0 {
+                if agree { "yes" } else { "NO" }.to_string()
+            } else {
+                "-".to_string()
+            },
+            f2(agg.throughput),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_density_zero_is_serializability() {
+        let t = run(true);
+        assert_eq!(t.cell(0, 3), "yes", "at density 0, Theorem 2 == SGT");
+        // Endpoint acceptance ordering: density 1 >= density 0.
+        let lo: f64 = t.cell(0, 1).trim_end_matches('%').parse().unwrap();
+        let hi: f64 = t
+            .cell(t.len() - 1, 1)
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(hi >= lo);
+        assert_eq!(hi, 100.0, "density 1 within one class accepts all");
+    }
+}

@@ -1,0 +1,95 @@
+//! E9 — Rollback cascades and the commit-point hazard (§6).
+//!
+//! Multilevel atomicity publishes partial results at breakpoints, so a
+//! rollback can chain through transactions that consumed them — even
+//! already-"committed" ones. This experiment drives MLA-detect into
+//! abort-heavy regimes (tight entity pools, hot Zipf head, *mixed*
+//! breakpoint structure so cycles actually occur) and reports the
+//! cascade-size distribution and commit rollbacks.
+
+use mla_cc::VictimPolicy;
+use mla_workload::banking::{generate, BankingConfig};
+
+use crate::experiments::seeds;
+use crate::runner::{run_cell, ControlKind};
+use crate::table::{f2, Table};
+
+/// Runs E9.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E9: rollback cascades under mla-detect (banking, audits racing transfers)",
+        &[
+            "accounts",
+            "aborts",
+            "cascades",
+            "mean-size",
+            "max-size",
+            "commit-rollbacks",
+            "wasted",
+        ],
+    );
+    let pools: &[(usize, usize)] = if quick {
+        &[(1, 2), (2, 3)]
+    } else {
+        &[(1, 2), (1, 3), (2, 3), (2, 4), (4, 4)]
+    };
+    for &(families, accounts_per_family) in pools {
+        let mut aborts = 0u64;
+        let mut cascades: Vec<usize> = Vec::new();
+        let mut commit_rollbacks = 0u64;
+        let mut wasted = 0.0;
+        let runs = seeds(quick);
+        for &seed in &runs {
+            let b = generate(BankingConfig {
+                families,
+                accounts_per_family,
+                transfers: if quick { 10 } else { 20 },
+                bank_audits: 2, // audits racing transfers force cycles
+                credit_audits: 1,
+                arrival_spacing: 1,
+                zipf_theta: 1.0,
+                seed,
+                ..BankingConfig::default()
+            });
+            let cell = run_cell(
+                &b.workload,
+                ControlKind::MlaDetect(VictimPolicy::Requester),
+                seed,
+            );
+            let m = &cell.outcome.metrics;
+            aborts += m.aborts;
+            cascades.extend(m.cascade_sizes.iter().copied());
+            commit_rollbacks += m.commit_rollbacks;
+            wasted += m.wasted_work();
+        }
+        let mean_size = if cascades.is_empty() {
+            0.0
+        } else {
+            cascades.iter().sum::<usize>() as f64 / cascades.len() as f64
+        };
+        table.row(vec![
+            (families * accounts_per_family).to_string(),
+            aborts.to_string(),
+            cascades.len().to_string(),
+            f2(mean_size),
+            cascades.iter().max().copied().unwrap_or(0).to_string(),
+            commit_rollbacks.to_string(),
+            f2(wasted / runs.len() as f64 * 100.0),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_observes_cascades_under_pressure() {
+        let t = run(true);
+        assert_eq!(t.len(), 2);
+        // The tightest pool must show at least some rollback activity.
+        let aborts: u64 = t.cell(0, 1).parse().unwrap();
+        assert!(aborts > 0, "tight pool should force aborts");
+    }
+}

@@ -1,0 +1,28 @@
+//! The experiment harness: one module per experiment in DESIGN.md.
+//!
+//! The paper (Lynch 1982) is theory-only — it has no tables or figures.
+//! DESIGN.md therefore defines an evaluation suite E1–E10 (plus ablations
+//! A1–A3) that answers the questions the paper *poses*:
+//!
+//! * how much larger than the serial set is `C(π, 𝔅)` (E1, E2, E8);
+//! * what does the Theorem 2 check cost relative to the serializability
+//!   check (E3, E10, A1);
+//! * can multilevel-atomicity schedulers beat serializable ones (E4,
+//!   E6, E7);
+//! * do they abort less, as §6 conjectures (E5, A3);
+//! * how bad are the rollback cascades §6 warns about (E9, A2).
+//!
+//! Each experiment has a library function returning a printable
+//! [`Table`], a thin binary under `src/bin/`, and (where microbenchmarks
+//! make sense) a Criterion bench under `benches/`. `cargo run --release
+//! --bin all_experiments` regenerates everything EXPERIMENTS.md reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use runner::{run_cell, CellResult, ControlKind};
+pub use table::Table;

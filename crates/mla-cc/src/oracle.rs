@@ -1,0 +1,82 @@
+//! The safety oracle: schedulers are tested against the theory.
+//!
+//! Every simulation's final history is fed back through the *offline*
+//! decision procedures of `mla-core`: Theorem 2 for the multilevel
+//! controls, the conflict-graph test for the serializable baselines. A
+//! control with a scheduling bug thus fails loudly in the test suite and
+//! experiment harness instead of silently producing garbage numbers.
+
+use mla_core::nest::Nest;
+use mla_core::serializability::is_serializable;
+use mla_core::theorem::is_correctable;
+use mla_sim::sim::SimOutcome;
+use mla_txn::RuntimeSpec;
+
+/// Whether an outcome's final execution is correctable (Theorem 2) under
+/// the nest and breakpoint specification the run used.
+pub fn is_correctable_outcome(out: &SimOutcome, nest: &Nest, spec: &RuntimeSpec) -> bool {
+    is_correctable(&out.execution, nest, spec).expect("outcome execution matches nest and spec")
+}
+
+/// Whether an outcome's final execution is conflict-serializable.
+pub fn is_serializable_outcome(out: &SimOutcome) -> bool {
+    is_serializable(&out.execution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_model::program::{ScriptOp::*, ScriptProgram};
+    use mla_model::{EntityId, TxnId};
+    use mla_sim::control::FreeForAll;
+    use mla_sim::{run, SimConfig};
+    use mla_txn::{NoBreakpoints, TxnInstance};
+    use std::sync::Arc;
+
+    /// The free-for-all control on a conflict-heavy workload should —
+    /// with high probability across seeds — produce a history that FAILS
+    /// the oracle, demonstrating the oracle actually discriminates.
+    #[test]
+    fn oracle_rejects_free_for_all_garbage() {
+        let e = EntityId;
+        let mut rejected = 0;
+        for seed in 0..20 {
+            let instances: Vec<TxnInstance> = (0..6)
+                .map(|i| {
+                    TxnInstance::new(
+                        TxnId(i),
+                        Arc::new(ScriptProgram::new(vec![
+                            Add(e(i % 2), 1),
+                            Add(e((i + 1) % 2), 1),
+                        ])),
+                        Arc::new(NoBreakpoints { k: 2 }),
+                    )
+                })
+                .collect();
+            let out = run(
+                mla_core::nest::Nest::flat(6),
+                instances,
+                [],
+                &[0; 6],
+                &SimConfig::seeded(seed),
+                &mut FreeForAll,
+            );
+            let spec = RuntimeSpec::new(2);
+            let nest = mla_core::nest::Nest::flat(6);
+            let ok = is_correctable_outcome(&out, &nest, &spec);
+            assert_eq!(
+                ok,
+                is_serializable_outcome(&out),
+                "k = 2 correctability must equal serializability"
+            );
+            if !ok {
+                rejected += 1;
+            }
+        }
+        assert!(
+            rejected > 0,
+            "free-for-all on opposing two-entity weaves should violate \
+             serializability for at least one seed"
+        );
+    }
+}

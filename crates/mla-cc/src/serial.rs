@@ -1,0 +1,83 @@
+//! The degenerate baseline: one transaction at a time.
+
+use mla_model::TxnId;
+use mla_sim::{Control, Decision, World};
+
+/// A single global token: a transaction acquires it at its first step and
+/// releases it at commit (or abort). Produces exactly the serial
+/// executions — the strictest `C` of §3.2 and the paper's k = 2 extreme.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialControl {
+    holder: Option<TxnId>,
+}
+
+impl Control for SerialControl {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn decide(&mut self, txn: TxnId, _world: &World) -> Decision {
+        match self.holder {
+            None => {
+                self.holder = Some(txn);
+                Decision::Grant
+            }
+            Some(h) if h == txn => Decision::Grant,
+            Some(_) => Decision::Defer,
+        }
+    }
+
+    fn committed(&mut self, txn: TxnId, _world: &World) {
+        if self.holder == Some(txn) {
+            self.holder = None;
+        }
+    }
+
+    fn aborted(&mut self, txn: TxnId, _world: &World) {
+        if self.holder == Some(txn) {
+            self.holder = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_core::nest::Nest;
+    use mla_model::program::{ScriptOp::*, ScriptProgram};
+    use mla_model::EntityId;
+    use mla_sim::{run, SimConfig};
+    use mla_txn::{NoBreakpoints, TxnInstance};
+    use std::sync::Arc;
+
+    #[test]
+    fn serial_control_produces_serial_executions() {
+        let e = EntityId;
+        let programs: Vec<Arc<ScriptProgram>> = (0..5)
+            .map(|i| {
+                Arc::new(ScriptProgram::new(vec![
+                    Add(e(i), 1),
+                    Add(e((i + 1) % 5), 1),
+                    Add(e((i + 2) % 5), 1),
+                ]))
+            })
+            .collect();
+        let instances: Vec<TxnInstance> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| TxnInstance::new(TxnId(i as u32), p, Arc::new(NoBreakpoints { k: 2 })))
+            .collect();
+        let out = run(
+            Nest::flat(5),
+            instances,
+            [],
+            &[0, 1, 2, 3, 4],
+            &SimConfig::seeded(17),
+            &mut SerialControl::default(),
+        );
+        assert_eq!(out.metrics.committed, 5);
+        assert_eq!(out.metrics.aborts, 0);
+        assert!(out.execution.is_serial(), "token forces seriality");
+        assert!(out.metrics.defers > 0, "contention forces waiting");
+    }
+}

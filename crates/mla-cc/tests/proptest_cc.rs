@@ -1,0 +1,125 @@
+//! Property-based scheduler safety: random synthetic workloads through
+//! every control, every history re-checked against the offline theory.
+
+use mla_cc::{
+    oracle, MlaDetect, MlaPrevent, SerialControl, SgtControl, TimestampOrdering, TwoPhaseLocking,
+    VictimPolicy,
+};
+use mla_sim::{run, Control, SimConfig};
+use mla_workload::synthetic::{generate, SyntheticConfig};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Params {
+    txns: usize,
+    k: usize,
+    densities: Vec<f64>,
+    fanout: Vec<usize>,
+    entities: usize,
+    len_max: usize,
+    seed: u64,
+    sim_seed: u64,
+}
+
+impl Params {
+    fn workload(&self) -> mla_workload::Workload {
+        generate(SyntheticConfig {
+            txns: self.txns,
+            k: self.k,
+            fanout: self.fanout.clone(),
+            densities: self.densities.clone(),
+            len_min: 1,
+            len_max: self.len_max,
+            entities: self.entities,
+            zipf_theta: 0.6,
+            arrival_spacing: 2,
+            seed: self.seed,
+        })
+        .workload
+    }
+}
+
+fn params() -> impl Strategy<Value = Params> {
+    (2usize..5).prop_flat_map(|k| {
+        (
+            2usize..8,
+            proptest::collection::vec(0.0f64..1.0, k - 2),
+            proptest::collection::vec(1usize..3, k - 2),
+            2usize..6,
+            2usize..5,
+            any::<u64>(),
+            any::<u64>(),
+        )
+            .prop_map(
+                move |(txns, densities, fanout, entities, len_max, seed, sim_seed)| Params {
+                    txns,
+                    k,
+                    densities,
+                    fanout,
+                    entities,
+                    len_max,
+                    seed,
+                    sim_seed,
+                },
+            )
+    })
+}
+
+fn drive(
+    p: &Params,
+    control: &mut dyn Control,
+) -> (mla_sim::sim::SimOutcome, mla_workload::Workload) {
+    let wl = p.workload();
+    let out = run(
+        wl.nest.clone(),
+        wl.instances(),
+        wl.initial.iter().copied(),
+        &wl.arrivals,
+        &SimConfig::seeded(p.sim_seed),
+        control,
+    );
+    (out, wl)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn serializable_controls_stay_serializable(p in params()) {
+        for name in ["serial", "2pl", "to", "sgt"] {
+            let (out, wl) = match name {
+                "serial" => drive(&p, &mut SerialControl::default()),
+                "2pl" => drive(&p, &mut TwoPhaseLocking::new()),
+                "to" => drive(&p, &mut TimestampOrdering::new()),
+                _ => drive(&p, &mut SgtControl::new(p.txns, VictimPolicy::FewestSteps)),
+            };
+            prop_assert!(!out.metrics.timed_out, "{} timed out on {:?}", name, p);
+            prop_assert_eq!(out.metrics.committed as usize, wl.txn_count(),
+                "{} did not finish", name);
+            prop_assert!(oracle::is_serializable_outcome(&out),
+                "{} produced a non-serializable history on {:?}", name, p);
+        }
+    }
+
+    #[test]
+    fn mla_controls_stay_correctable(p in params()) {
+        // Detect.
+        let wl = p.workload();
+        let mut detect = MlaDetect::new(wl.spec(), VictimPolicy::FewestSteps);
+        let (out, wl) = drive(&p, &mut detect);
+        prop_assert!(!out.metrics.timed_out, "detect timed out on {:?}", p);
+        prop_assert_eq!(out.metrics.committed as usize, wl.txn_count());
+        prop_assert!(oracle::is_correctable_outcome(&out, &wl.nest, &wl.spec()),
+            "detect violated Theorem 2 on {:?}", p);
+
+        // Prevent.
+        let wl2 = p.workload();
+        let mut prevent = MlaPrevent::new(wl2.txn_count(), wl2.spec(), VictimPolicy::FewestSteps);
+        let (out, wl2) = drive(&p, &mut prevent);
+        prop_assert!(!out.metrics.timed_out, "prevent timed out on {:?}", p);
+        prop_assert_eq!(out.metrics.committed as usize, wl2.txn_count());
+        prop_assert_eq!(prevent.prevention_misses, 0, "the §6 rule needed its fallback");
+        prop_assert!(oracle::is_correctable_outcome(&out, &wl2.nest, &wl2.spec()),
+            "prevent violated Theorem 2 on {:?}", p);
+    }
+}

@@ -1,0 +1,289 @@
+//! Nested action trees: multilevel atomicity in the nested transaction
+//! model (§7).
+//!
+//! The paper shows any multilevel-atomic execution can be described by a
+//! *nested action tree* in which logical transactions are regrouped into
+//! "actions": enumerate tree levels with the root at level 1; then
+//!
+//! * all steps below a level-`i` node belong to `π(i)`-equivalent
+//!   transactions, and
+//! * (for `i > 1`) those steps carry each involved transaction to a
+//!   level-`i-1` breakpoint.
+//!
+//! [`build_action_tree`] constructs the tree for a multilevel-atomic
+//! execution by greedy segmentation: a level-`i` node's children are the
+//! minimal contiguous blocks such that each block closes with every
+//! transaction inside it at a level-`i-1` breakpoint, and blocks never
+//! mix transactions from different `π(i)`-classes. The regrouping is
+//! execution-dependent ("not statically determined", §7) — the same
+//! transactions may combine into different actions in different
+//! executions.
+
+use mla_model::TxnId;
+
+use crate::atomicity::check_multilevel_atomic;
+use crate::spec::ExecContext;
+
+/// A node of a nested action tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ActionNode {
+    /// Tree level (root = 1). Leaves sit at level `k`.
+    pub level: usize,
+    /// Global step indices covered (contiguous in the execution).
+    pub steps: std::ops::Range<usize>,
+    /// Child actions (empty at level `k`, where each node is one step).
+    pub children: Vec<ActionNode>,
+}
+
+impl ActionNode {
+    /// Transactions whose steps appear below this node.
+    pub fn txns(&self, ctx: &ExecContext<'_>) -> Vec<TxnId> {
+        let mut out: Vec<TxnId> = Vec::new();
+        for i in self.steps.clone() {
+            let t = ctx.txn_id(ctx.txn_of(i));
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    /// Total number of nodes in this subtree.
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(ActionNode::node_count)
+            .sum::<usize>()
+    }
+}
+
+/// Errors from [`build_action_tree`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ActionTreeError {
+    /// The execution is not multilevel atomic; the paper's tree property
+    /// cannot hold.
+    NotMultilevelAtomic,
+}
+
+impl std::fmt::Display for ActionTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActionTreeError::NotMultilevelAtomic => {
+                write!(
+                    f,
+                    "execution is not multilevel atomic; no action tree exists"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ActionTreeError {}
+
+/// Builds the nested action tree of a multilevel-atomic execution.
+pub fn build_action_tree(ctx: &ExecContext<'_>) -> Result<ActionNode, ActionTreeError> {
+    if check_multilevel_atomic(ctx).is_err() {
+        return Err(ActionTreeError::NotMultilevelAtomic);
+    }
+    Ok(split(ctx, 1, 0..ctx.n()))
+}
+
+/// Recursively splits `range` (all of whose transactions are pairwise
+/// `π(level)`-equivalent, by induction) into level-`level + 1` blocks.
+fn split(ctx: &ExecContext<'_>, level: usize, range: std::ops::Range<usize>) -> ActionNode {
+    let k = ctx.nest().k();
+    let mut node = ActionNode {
+        level,
+        steps: range.clone(),
+        children: Vec::new(),
+    };
+    if level >= k || range.is_empty() {
+        return node;
+    }
+    let child_level = level + 1;
+    // Minimal blocks: close the current block as soon as every transaction
+    // inside it sits at a level-`level` breakpoint — the finest split the
+    // paper's tree property allows, matching its worked example where each
+    // leaf is a single step. Because the execution is multilevel atomic, a
+    // pi(child_level)-inequivalent transaction can only step when every
+    // member is at a suitable (coarser, hence included) breakpoint, so the
+    // block is always closed before inequivalent steps arrive.
+    let mut block_start = range.start;
+    let mut members: Vec<usize> = Vec::new(); // local txn indices in block
+    let mut last_seq: Vec<Option<usize>> = vec![None; ctx.txn_count()];
+    for i in range.clone() {
+        let t = ctx.txn_of(i);
+        debug_assert!(
+            members.iter().all(|&m| ctx.level(m, t) >= child_level),
+            "atomic execution stepped an inequivalent txn into an open block"
+        );
+        if !members.contains(&t) {
+            members.push(t);
+        }
+        last_seq[t] = Some(ctx.seq_of(i));
+        let all_at_breakpoint = members
+            .iter()
+            .all(|&m| last_seq[m].is_none_or(|s| ctx.bd(m).breakpoint_after(level, s)));
+        if all_at_breakpoint {
+            node.children
+                .push(split(ctx, child_level, block_start..i + 1));
+            for &m in &members {
+                last_seq[m] = None;
+            }
+            members.clear();
+            block_start = i + 1;
+        }
+    }
+    if block_start < range.end {
+        node.children
+            .push(split(ctx, child_level, block_start..range.end));
+    }
+    node
+}
+
+/// Checks the paper's §7 tree property: all steps below a level-`i` node
+/// belong to `π(i)`-equivalent transactions.
+pub fn validate_tree(ctx: &ExecContext<'_>, node: &ActionNode) -> bool {
+    let txns = node.txns(ctx);
+    for a in &txns {
+        for b in &txns {
+            if ctx.nest().level(*a, *b) < node.level {
+                return false;
+            }
+        }
+    }
+    node.children.iter().all(|c| validate_tree(ctx, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakpoints::BreakpointDescription;
+    use crate::nest::Nest;
+    use crate::spec::{ExecContext, FixedSpec};
+    use mla_model::{EntityId, Execution, Step};
+
+    fn step(txn: u32, seq: u32, entity: u32) -> Step {
+        Step {
+            txn: TxnId(txn),
+            seq,
+            entity: EntityId(entity),
+            observed: 0,
+            wrote: 0,
+        }
+    }
+
+    fn exec(order: &[(u32, u32, u32)]) -> Execution {
+        Execution::new(order.iter().map(|&(t, s, x)| step(t, s, x)).collect()).unwrap()
+    }
+
+    /// §7's example: transfers t0, t1 (w then d each, same pi(2) class
+    /// with within-class free interleaving) and an isolated audit txn.
+    /// Execution w0 d0' pattern combining t0, t1 into one "action".
+    fn setup() -> (Execution, Nest, FixedSpec) {
+        // k = 3: pi(2) = {t0, t1} | {t2=audit}.
+        let nest = Nest::new(3, vec![vec![0], vec![0], vec![1]]).unwrap();
+        let free2 =
+            |n: usize| BreakpointDescription::from_mid_levels(3, n, &[(1..n).collect()]).unwrap();
+        let spec = FixedSpec::new(3)
+            .set(TxnId(0), free2(2))
+            .set(TxnId(1), free2(2))
+            .set(TxnId(2), BreakpointDescription::atomic(3, 2));
+        // w1 d1' interleaved transfers, then the audit.
+        let e = exec(&[
+            (0, 0, 1), // w of t0
+            (1, 0, 2), // w of t1
+            (1, 1, 3), // d of t1
+            (0, 1, 4), // d of t0
+            (2, 0, 5), // audit step 1
+            (2, 1, 6), // audit step 2
+        ]);
+        (e, nest, spec)
+    }
+
+    #[test]
+    fn combined_transfers_form_one_action() {
+        let (e, nest, spec) = setup();
+        let ctx = ExecContext::new(&e, &nest, &spec).unwrap();
+        let tree = build_action_tree(&ctx).unwrap();
+        assert_eq!(tree.level, 1);
+        assert_eq!(tree.steps, 0..6);
+        // Level 2: {t0, t1} combined into one action, audit its own.
+        assert_eq!(tree.children.len(), 2);
+        assert_eq!(tree.children[0].steps, 0..4);
+        assert_eq!(tree.children[0].txns(&ctx), vec![TxnId(0), TxnId(1)]);
+        assert_eq!(tree.children[1].steps, 4..6);
+        assert_eq!(tree.children[1].txns(&ctx), vec![TxnId(2)]);
+        assert!(validate_tree(&ctx, &tree));
+    }
+
+    #[test]
+    fn leaf_level_is_singleton_steps() {
+        let (e, nest, spec) = setup();
+        let ctx = ExecContext::new(&e, &nest, &spec).unwrap();
+        let tree = build_action_tree(&ctx).unwrap();
+        // k = 3: level-3 nodes are the leaves. Under the transfers'
+        // action, level 3 splits into per-step singletons? Level-3 blocks
+        // group pi(3)-equivalent txns = single transactions, closing at
+        // level-2 breakpoints (everywhere for transfers): each maximal
+        // same-txn run is one block.
+        let transfers = &tree.children[0];
+        assert_eq!(
+            transfers.children.len(),
+            4,
+            "w0 | w1 d1 | d0 split: {:?}",
+            transfers
+                .children
+                .iter()
+                .map(|c| c.steps.clone())
+                .collect::<Vec<_>>()
+        );
+        for c in &transfers.children {
+            assert_eq!(c.txns(&ctx).len(), 1);
+        }
+        assert!(validate_tree(&ctx, &tree));
+    }
+
+    #[test]
+    fn non_atomic_execution_rejected() {
+        let (_, nest, spec) = setup();
+        // Audit interleaves into the transfers: not atomic.
+        let e = exec(&[(0, 0, 1), (2, 0, 5), (0, 1, 4), (2, 1, 6)]);
+        let ctx = ExecContext::new(&e, &nest, &spec).unwrap();
+        assert_eq!(
+            build_action_tree(&ctx).unwrap_err(),
+            ActionTreeError::NotMultilevelAtomic
+        );
+    }
+
+    #[test]
+    fn serial_execution_tree_is_per_txn() {
+        let (_, nest, spec) = setup();
+        let e = exec(&[
+            (0, 0, 1),
+            (0, 1, 2),
+            (2, 0, 3),
+            (2, 1, 4),
+            (1, 0, 5),
+            (1, 1, 6),
+        ]);
+        let ctx = ExecContext::new(&e, &nest, &spec).unwrap();
+        let tree = build_action_tree(&ctx).unwrap();
+        // Audit separates the transfers, so level 2 has three actions.
+        assert_eq!(tree.children.len(), 3);
+        assert!(validate_tree(&ctx, &tree));
+        assert!(tree.node_count() > 4);
+    }
+
+    #[test]
+    fn empty_execution_tree() {
+        let nest = Nest::flat(1);
+        let spec = FixedSpec::new(2);
+        let e = Execution::empty();
+        let ctx = ExecContext::new(&e, &nest, &spec).unwrap();
+        let tree = build_action_tree(&ctx).unwrap();
+        assert_eq!(tree.steps, 0..0);
+        assert!(tree.children.is_empty());
+    }
+}

@@ -1,0 +1,355 @@
+//! k-nests: nested equivalence classes of transactions (§4.2).
+//!
+//! A *k-nest* `π` assigns an equivalence relation `π(i)` to each level
+//! `1 <= i <= k` such that `π(1)` has a single class, `π(k)` has singleton
+//! classes, and each `π(i)` refines `π(i-1)`. `level(t, t')` is the largest
+//! `i` with `(t, t')` in `π(i)` — "pairs with higher-numbered levels are
+//! more closely related".
+//!
+//! # Representation
+//!
+//! A nest is stored as one *class path* per transaction: a vector of
+//! `k - 2` class identifiers naming the transaction's class at levels
+//! `2 .. k-1`. Level 1 is the implicit root class and level `k` the
+//! implicit singleton `{t}`, so the nest axioms hold by construction:
+//! refinement is prefix extension, and
+//! `level(t, t') = 1 + (length of the longest common prefix)` for `t != t'`
+//! (capped at `k-1`), while `level(t, t) = k`.
+
+use mla_model::TxnId;
+
+/// A k-nest over transactions `t0 .. t(n-1)` (dense [`TxnId`]s).
+///
+/// ```
+/// use mla_core::nest::Nest;
+/// use mla_model::TxnId;
+///
+/// // The paper's banking 4-nest: two same-family customers and an audit.
+/// let nest = Nest::new(4, vec![vec![0, 0], vec![0, 0], vec![1, 1]]).unwrap();
+/// assert_eq!(nest.level(TxnId(0), TxnId(1)), 3); // same family
+/// assert_eq!(nest.level(TxnId(0), TxnId(2)), 1); // customer vs audit
+/// assert_eq!(nest.level(TxnId(2), TxnId(2)), 4); // self
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Nest {
+    k: usize,
+    /// `paths[t]` has length `k - 2`: classes at levels `2 ..= k-1`.
+    paths: Vec<Vec<u32>>,
+}
+
+/// Errors from [`Nest::new`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NestError {
+    /// `k < 2`: a nest needs at least the root level and the singleton
+    /// level.
+    TooShallow {
+        /// The offending k.
+        k: usize,
+    },
+    /// A transaction's class path has the wrong length.
+    BadPathLength {
+        /// The transaction with the malformed path.
+        txn: TxnId,
+        /// Required path length (`k - 2`).
+        expected: usize,
+        /// Provided path length.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for NestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NestError::TooShallow { k } => write!(f, "k-nest requires k >= 2, got {k}"),
+            NestError::BadPathLength {
+                txn,
+                expected,
+                found,
+            } => write!(
+                f,
+                "transaction {txn}: class path length {found}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NestError {}
+
+impl Nest {
+    /// Builds a k-nest from per-transaction class paths. `paths[t]` names
+    /// transaction `t`'s classes at levels `2 ..= k-1` and must have length
+    /// `k - 2`.
+    pub fn new(k: usize, paths: Vec<Vec<u32>>) -> Result<Self, NestError> {
+        if k < 2 {
+            return Err(NestError::TooShallow { k });
+        }
+        for (t, p) in paths.iter().enumerate() {
+            if p.len() != k - 2 {
+                return Err(NestError::BadPathLength {
+                    txn: TxnId(t as u32),
+                    expected: k - 2,
+                    found: p.len(),
+                });
+            }
+        }
+        Ok(Nest { k, paths })
+    }
+
+    /// The trivial 2-nest over `n` transactions: `π(1)` relates everything,
+    /// `π(2)` nothing. Under this nest, multilevel atomicity *is*
+    /// serializability (§4.3).
+    pub fn flat(n: usize) -> Self {
+        Nest {
+            k: 2,
+            paths: vec![Vec::new(); n],
+        }
+    }
+
+    /// Garcia-Molina's *compatibility sets* \[G\] — the paper's cited
+    /// `k = 3` special case (§4.3): transactions in a common class may
+    /// interleave arbitrarily; transactions in different classes must
+    /// serialize. `class_of[t]` names transaction `t`'s class. Pair this
+    /// nest with [`crate::spec::FreeSpec`]`{ k: 3 }` (breakpoints
+    /// everywhere) for the full \[G\] semantics; any other specification
+    /// gives the intermediate degrees the paper adds beyond \[G\].
+    pub fn compatibility_sets(class_of: &[u32]) -> Self {
+        Nest {
+            k: 3,
+            paths: class_of.iter().map(|&c| vec![c]).collect(),
+        }
+    }
+
+    /// The depth of the nest.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of transactions covered.
+    pub fn txn_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The paper's `level(t, t')`: the largest `i` with `(t, t') ∈ π(i)`.
+    ///
+    /// # Panics
+    /// Panics if either transaction is out of range.
+    pub fn level(&self, t: TxnId, u: TxnId) -> usize {
+        if t == u {
+            return self.k;
+        }
+        let (a, b) = (&self.paths[t.index()], &self.paths[u.index()]);
+        let common = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+        1 + common
+    }
+
+    /// Whether `t` and `u` are in the same `π(i)` class.
+    pub fn same_class_at(&self, t: TxnId, u: TxnId, i: usize) -> bool {
+        assert!(i >= 1 && i <= self.k, "level {i} out of 1..={}", self.k);
+        self.level(t, u) >= i
+    }
+
+    /// The class path of `t` (classes at levels `2 ..= k-1`).
+    pub fn path(&self, t: TxnId) -> &[u32] {
+        &self.paths[t.index()]
+    }
+
+    /// Groups transactions into the classes of `π(i)`.
+    pub fn classes_at(&self, i: usize) -> Vec<Vec<TxnId>> {
+        assert!(i >= 1 && i <= self.k, "level {i} out of 1..={}", self.k);
+        if i == 1 {
+            return vec![(0..self.paths.len() as u32).map(TxnId).collect()];
+        }
+        if i == self.k {
+            return (0..self.paths.len() as u32)
+                .map(|t| vec![TxnId(t)])
+                .collect();
+        }
+        let mut groups: std::collections::BTreeMap<&[u32], Vec<TxnId>> = Default::default();
+        for (t, p) in self.paths.iter().enumerate() {
+            groups.entry(&p[..i - 1]).or_default().push(TxnId(t as u32));
+        }
+        groups.into_values().collect()
+    }
+}
+
+/// Incremental builder for nests where transactions arrive one at a time
+/// (used by the workload generators).
+#[derive(Clone, Debug)]
+pub struct NestBuilder {
+    k: usize,
+    paths: Vec<Vec<u32>>,
+}
+
+impl NestBuilder {
+    /// Starts a builder for a k-nest (`k >= 2`).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "k-nest requires k >= 2");
+        NestBuilder {
+            k,
+            paths: Vec::new(),
+        }
+    }
+
+    /// Adds the next transaction with the given class path (length `k-2`),
+    /// returning its id.
+    pub fn push(&mut self, path: Vec<u32>) -> TxnId {
+        assert_eq!(path.len(), self.k - 2, "class path must have length k-2");
+        self.paths.push(path);
+        TxnId(self.paths.len() as u32 - 1)
+    }
+
+    /// Finishes the nest.
+    pub fn build(self) -> Nest {
+        Nest {
+            k: self.k,
+            paths: self.paths,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's banking 4-nest: `π(2)` relates all customer and creditor
+    /// transactions and isolates each bank audit; `π(3)` relates customer
+    /// transactions of a common family.
+    ///
+    /// Encoding: path[0] = 0 for customer/creditor, 1 for the audit;
+    /// path[1] = family id (audit gets its own).
+    fn banking_nest() -> Nest {
+        Nest::new(
+            4,
+            vec![
+                vec![0, 0], // t0: customer, family 0
+                vec![0, 0], // t1: customer, family 0
+                vec![0, 1], // t2: customer, family 1
+                vec![1, 2], // t3: bank audit
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn levels_match_paper_banking_example() {
+        let n = banking_nest();
+        let (t0, t1, t2, audit) = (TxnId(0), TxnId(1), TxnId(2), TxnId(3));
+        assert_eq!(n.level(t0, t1), 3, "same family");
+        assert_eq!(n.level(t0, t2), 2, "both customers, different families");
+        assert_eq!(n.level(t0, audit), 1, "audit is isolated at level 2");
+        assert_eq!(n.level(t0, t0), 4, "self-level is k");
+        assert_eq!(n.level(t1, t0), n.level(t0, t1), "symmetric");
+    }
+
+    #[test]
+    fn same_class_at_boundaries() {
+        let n = banking_nest();
+        let (t0, t1, audit) = (TxnId(0), TxnId(1), TxnId(3));
+        assert!(n.same_class_at(t0, audit, 1), "pi(1) relates everything");
+        assert!(!n.same_class_at(t0, audit, 2));
+        assert!(n.same_class_at(t0, t1, 3));
+        assert!(!n.same_class_at(t0, t1, 4), "pi(k) is singletons");
+        assert!(n.same_class_at(t0, t0, 4));
+    }
+
+    #[test]
+    fn flat_nest_is_serializability_shape() {
+        let n = Nest::flat(3);
+        assert_eq!(n.k(), 2);
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                let expect = if a == b { 2 } else { 1 };
+                assert_eq!(n.level(TxnId(a), TxnId(b)), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn classes_at_each_level() {
+        let n = banking_nest();
+        assert_eq!(n.classes_at(1).len(), 1);
+        assert_eq!(n.classes_at(1)[0].len(), 4);
+        let l2 = n.classes_at(2);
+        assert_eq!(l2.len(), 2); // {customers}, {audit}
+        let mut sizes: Vec<usize> = l2.iter().map(|c| c.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 3]);
+        let l3 = n.classes_at(3);
+        assert_eq!(l3.len(), 3); // {t0,t1}, {t2}, {audit}
+        assert_eq!(n.classes_at(4).len(), 4);
+    }
+
+    #[test]
+    fn refinement_holds_by_construction() {
+        let n = banking_nest();
+        // pi(i) refines pi(i-1): same class at i implies same class at i-1.
+        for i in 2..=4 {
+            for a in 0..4u32 {
+                for b in 0..4u32 {
+                    if n.same_class_at(TxnId(a), TxnId(b), i) {
+                        assert!(n.same_class_at(TxnId(a), TxnId(b), i - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            Nest::new(1, vec![]).unwrap_err(),
+            NestError::TooShallow { k: 1 }
+        );
+        let err = Nest::new(3, vec![vec![0, 1]]).unwrap_err();
+        assert_eq!(
+            err,
+            NestError::BadPathLength {
+                txn: TxnId(0),
+                expected: 1,
+                found: 2
+            }
+        );
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let mut b = NestBuilder::new(4);
+        assert_eq!(b.push(vec![0, 0]), TxnId(0));
+        assert_eq!(b.push(vec![0, 1]), TxnId(1));
+        let n = b.build();
+        assert_eq!(n.level(TxnId(0), TxnId(1)), 2);
+        assert_eq!(n.txn_count(), 2);
+    }
+
+    #[test]
+    fn compatibility_sets_semantics() {
+        // [G]: same class -> level 2 (free interleaving under FreeSpec);
+        // different class -> level 1 (serialize).
+        let n = Nest::compatibility_sets(&[0, 0, 1]);
+        assert_eq!(n.k(), 3);
+        assert_eq!(n.level(TxnId(0), TxnId(1)), 2);
+        assert_eq!(n.level(TxnId(0), TxnId(2)), 1);
+        assert_eq!(n.level(TxnId(2), TxnId(2)), 3);
+        assert_eq!(n.classes_at(2).len(), 2);
+    }
+
+    #[test]
+    fn cad_five_nest() {
+        // §4.2's CAD example: pi(2) = {modifications} vs {snapshots};
+        // pi(3) by specialty; pi(4) by team.
+        let n = Nest::new(
+            5,
+            vec![
+                vec![0, 0, 0], // modification, plumbing, team A
+                vec![0, 0, 1], // modification, plumbing, team B
+                vec![0, 1, 2], // modification, electrical, team C
+                vec![1, 9, 9], // snapshot
+            ],
+        )
+        .unwrap();
+        assert_eq!(n.level(TxnId(0), TxnId(1)), 3, "same specialty");
+        assert_eq!(n.level(TxnId(0), TxnId(2)), 2, "both modifications");
+        assert_eq!(n.level(TxnId(0), TxnId(3)), 1, "snapshot vs modification");
+        assert_eq!(n.level(TxnId(0), TxnId(0)), 5);
+    }
+}

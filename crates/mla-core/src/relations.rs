@@ -1,0 +1,454 @@
+//! The abstract §4.2 definitions over *explicit* relations: coherence of
+//! an arbitrary relation, and its coherent closure.
+//!
+//! The execution-based machinery ([`crate::closure`]) always starts from
+//! a dependency order `<=_e`. The paper, however, *defines* coherence for
+//! any relation `R` on the disjoint union of step sets, and its §4.2
+//! worked examples (R1, R2, R3) are given directly as pair sets. This
+//! module implements that abstract layer, and the examples appear —
+//! verbatim — in its tests:
+//!
+//! * R1 is a coherent partial order;
+//! * R2 is non-coherent, and its coherent closure is exactly R1;
+//! * R3's coherent closure contains a cycle.
+
+use mla_graph::BitSet;
+
+use crate::breakpoints::BreakpointDescription;
+use crate::nest::Nest;
+
+/// An element of `U{X_t : t in T}`: transaction `t`'s step number `seq`.
+pub type Elem = (usize, usize);
+
+/// The abstract setting of §4.2: a k-nest over `T` plus a k-level
+/// interleaving specification (per-transaction total orders — implied by
+/// step counts — and breakpoint descriptions).
+pub struct RelationContext {
+    nest: Nest,
+    bds: Vec<BreakpointDescription>,
+    /// Global index bases per transaction.
+    base: Vec<usize>,
+    n: usize,
+}
+
+/// Why a relation fails coherence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoherenceViolation {
+    /// Condition (a): the relation is missing an intra-transaction pair.
+    MissingIntraPair {
+        /// The transaction.
+        txn: usize,
+        /// The earlier step.
+        from: usize,
+        /// The later step.
+        to: usize,
+    },
+    /// Condition (b): `(alpha, beta)` is present but the segment-mate
+    /// pair `(alpha_prime, beta)` is not.
+    MissingLiftedPair {
+        /// The pair's source `alpha`.
+        alpha: Elem,
+        /// The segment-mate `alpha'` whose pair is missing.
+        alpha_prime: Elem,
+        /// The pair's target `beta`.
+        beta: Elem,
+    },
+}
+
+impl std::fmt::Display for CoherenceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoherenceViolation::MissingIntraPair { txn, from, to } => {
+                write!(f, "missing intra pair t{txn}: {from} -> {to}")
+            }
+            CoherenceViolation::MissingLiftedPair {
+                alpha,
+                alpha_prime,
+                beta,
+            } => write!(
+                f,
+                "({:?}, {:?}) present but lifted ({:?}, {:?}) missing",
+                alpha, beta, alpha_prime, beta
+            ),
+        }
+    }
+}
+
+impl RelationContext {
+    /// Builds the context. `bds[t]` describes transaction `t`'s steps;
+    /// the nest must cover `bds.len()` transactions.
+    pub fn new(nest: Nest, bds: Vec<BreakpointDescription>) -> Self {
+        assert!(nest.txn_count() >= bds.len(), "nest must cover all txns");
+        assert!(
+            bds.iter().all(|b| b.k() == nest.k()),
+            "descriptions must share the nest's depth"
+        );
+        let mut base = Vec::with_capacity(bds.len());
+        let mut n = 0;
+        for b in &bds {
+            base.push(n);
+            n += b.step_count();
+        }
+        RelationContext { nest, bds, base, n }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn global(&self, e: Elem) -> usize {
+        let (t, s) = e;
+        assert!(s < self.bds[t].step_count(), "element {e:?} out of range");
+        self.base[t] + s
+    }
+
+    fn elem(&self, g: usize) -> Elem {
+        let t = match self.base.binary_search(&g) {
+            Ok(t) => t,
+            Err(i) => i - 1,
+        };
+        (t, g - self.base[t])
+    }
+
+    /// Materializes a relation (with each `<=_t` added per condition (a))
+    /// as predecessor bitsets: `preds[v]` holds `u` iff `(u, v) ∈ R`.
+    fn materialize(&self, pairs: &[(Elem, Elem)]) -> Vec<BitSet> {
+        let mut preds: Vec<BitSet> = (0..self.n).map(|_| BitSet::new(self.n)).collect();
+        for (t, b) in self.bds.iter().enumerate() {
+            for to in 0..b.step_count() {
+                for from in 0..to {
+                    preds[self.global((t, to))].insert(self.global((t, from)));
+                }
+            }
+        }
+        for &(a, b) in pairs {
+            preds[self.global(b)].insert(self.global(a));
+        }
+        preds
+    }
+
+    /// Checks coherence of `pairs ∪ (each <=_t)` — conditions (a) holds by
+    /// construction; condition (b) is checked literally, including on
+    /// pairs only implied transitively if `transitive` is set (the §4.2
+    /// examples give R as a transitive closure, so their checks use
+    /// `transitive = true`).
+    pub fn is_coherent(
+        &self,
+        pairs: &[(Elem, Elem)],
+        transitive: bool,
+    ) -> Result<(), CoherenceViolation> {
+        let mut preds = self.materialize(pairs);
+        if transitive {
+            transitive_close(&mut preds);
+        }
+        for v in 0..self.n {
+            let (tv, _) = self.elem(v);
+            let current: Vec<usize> = preds[v].iter().collect();
+            for u in current {
+                let (tu, su) = self.elem(u);
+                if tu == tv {
+                    continue;
+                }
+                let level = self
+                    .nest
+                    .level(mla_model::TxnId(tu as u32), mla_model::TxnId(tv as u32));
+                let end = self.bds[tu].segment_end(level, su);
+                for s in su + 1..=end {
+                    let lifted = self.global((tu, s));
+                    if !preds[v].contains(lifted) {
+                        return Err(CoherenceViolation::MissingLiftedPair {
+                            alpha: (tu, su),
+                            alpha_prime: (tu, s),
+                            beta: self.elem(v),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The coherent closure: the least relation containing `pairs` and
+    /// each `<=_t`, closed under transitivity and condition (b). Returns
+    /// predecessor bitsets over global indices (use [`RelationContext::pair_in`]
+    /// to query by element).
+    pub fn coherent_closure(&self, pairs: &[(Elem, Elem)]) -> Vec<BitSet> {
+        let mut preds = self.materialize(pairs);
+        loop {
+            let mut changed = false;
+            transitive_close(&mut preds);
+            for v in 0..self.n {
+                let (tv, _) = self.elem(v);
+                let current: Vec<usize> = preds[v].iter().collect();
+                for u in current {
+                    let (tu, su) = self.elem(u);
+                    if tu == tv {
+                        continue;
+                    }
+                    let level = self
+                        .nest
+                        .level(mla_model::TxnId(tu as u32), mla_model::TxnId(tv as u32));
+                    let end = self.bds[tu].segment_end(level, su);
+                    for s in su + 1..=end {
+                        changed |= preds[v].insert(self.global((tu, s)));
+                    }
+                }
+            }
+            if !changed {
+                return preds;
+            }
+        }
+    }
+
+    /// Whether `(a, b)` is in a materialized relation.
+    pub fn pair_in(&self, preds: &[BitSet], a: Elem, b: Elem) -> bool {
+        preds[self.global(b)].contains(self.global(a))
+    }
+
+    /// Whether a materialized relation is a partial order (irreflexive
+    /// under transitivity — no element precedes itself).
+    pub fn is_partial_order(&self, preds: &[BitSet]) -> bool {
+        (0..self.n).all(|v| !preds[v].contains(v))
+    }
+
+    /// §4.2's closing remark, as a decision procedure: "R is extendable
+    /// to a coherent partial order if and only if the coherent closure of
+    /// R is a partial order."
+    pub fn extendable_to_coherent_partial_order(&self, pairs: &[(Elem, Elem)]) -> bool {
+        let closure = self.coherent_closure(pairs);
+        self.is_partial_order(&closure)
+    }
+}
+
+fn transitive_close(preds: &mut [BitSet]) {
+    loop {
+        let mut changed = false;
+        for v in 0..preds.len() {
+            let current: Vec<usize> = preds[v].iter().collect();
+            for u in current {
+                if u != v {
+                    let pu = preds[u].clone();
+                    changed |= preds[v].union_with_returning_changed(&pu);
+                }
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §4.2 example setting: k = 3, T = {t0, t1, t2} (the paper's
+    /// t1, t2, t3), pi(2) classes {t0, t1} and {t2}; four steps per
+    /// transaction with a level-2 breakpoint after step 2 (classes
+    /// {a_i1, a_i2} and {a_i3, a_i4} in the paper's 1-based notation).
+    fn paper_ctx() -> RelationContext {
+        let nest = Nest::new(3, vec![vec![0], vec![0], vec![1]]).unwrap();
+        let bd = BreakpointDescription::from_mid_levels(3, 4, &[vec![2]]).unwrap();
+        RelationContext::new(nest, vec![bd.clone(), bd.clone(), bd])
+    }
+
+    // Paper's 1-based a_{i j} -> our 0-based (txn, seq).
+    fn a(i: usize, j: usize) -> Elem {
+        (i - 1, j - 1)
+    }
+
+    /// R1's cross pairs (the <=_ti are implicit).
+    fn r1_pairs() -> Vec<(Elem, Elem)> {
+        vec![
+            (a(1, 2), a(2, 2)), // (a12, a22)
+            (a(2, 2), a(1, 3)), // (a22, a13)
+            (a(1, 4), a(3, 1)), // (a14, a31)
+            (a(2, 4), a(3, 3)), // (a24, a33)
+        ]
+    }
+
+    #[test]
+    fn r1_closure_is_a_coherent_partial_order() {
+        // Reproduction-fidelity note: the paper calls R1 itself "a
+        // coherent partial order", but under the *literal* condition (b)
+        // the transitively implied pair (a21, a31) — via a21 < a22,
+        // (a22, a13), a13 < a14, (a14, a31) — demands the lifted pairs
+        // (a22, a31), (a23, a31), (a24, a31) at level(t2, t3) = 1, and
+        // (a23, a31), (a24, a31) are not in R1's transitive closure. The
+        // coherent *closure* of R1 adds exactly those pairs and is the
+        // coherent partial order the paper works with: both §5.1 total
+        // orders contain them, and the "exactly two coherent total
+        // orders" count only comes out right with them included.
+        let ctx = paper_ctx();
+        let pairs = r1_pairs();
+        let violation = ctx.is_coherent(&pairs, true).unwrap_err();
+        assert_eq!(
+            violation,
+            CoherenceViolation::MissingLiftedPair {
+                alpha: a(2, 1),
+                alpha_prime: a(2, 3),
+                beta: a(3, 1),
+            }
+        );
+        let closure = ctx.coherent_closure(&pairs);
+        assert!(ctx.is_partial_order(&closure));
+        // The closure adds exactly the (a2x, a31) lifts beyond R1's own
+        // transitive closure.
+        let mut r1 = ctx.materialize(&pairs);
+        transitive_close(&mut r1);
+        let mut extra = Vec::new();
+        for v in 0..ctx.len() {
+            for u in closure[v].iter() {
+                if !r1[v].contains(u) {
+                    extra.push((ctx.elem(u), ctx.elem(v)));
+                }
+            }
+        }
+        extra.sort_unstable();
+        // ((a22, a31) is already in R1 transitively via a22 -> a13 ->
+        // a14 -> a31; the genuinely new pairs are a23/a24 before a31,
+        // plus their transitive images before a32.)
+        assert_eq!(
+            extra,
+            vec![
+                (a(2, 3), a(3, 1)),
+                (a(2, 3), a(3, 2)),
+                (a(2, 4), a(3, 1)),
+                (a(2, 4), a(3, 2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn r2_is_non_coherent_but_closes_to_r1() {
+        let ctx = paper_ctx();
+        // R2's cross pairs: sources pulled back to the segment starts.
+        let r2 = vec![
+            (a(1, 1), a(2, 2)), // (a11, a22)
+            (a(2, 1), a(1, 3)), // (a21, a13)
+            (a(1, 1), a(3, 1)), // (a11, a31)
+            (a(2, 1), a(3, 3)), // (a21, a33)
+        ];
+        // Non-coherent: (a11, a22) needs its segment-mate pair (a12, a22).
+        let violation = ctx.is_coherent(&r2, true).unwrap_err();
+        assert!(matches!(
+            violation,
+            CoherenceViolation::MissingLiftedPair { .. }
+        ));
+        // "The coherent closure of R2 is just the partial order R1."
+        let closure_r2 = ctx.coherent_closure(&r2);
+        assert!(ctx.is_partial_order(&closure_r2));
+        let closure_r1 = ctx.coherent_closure(&r1_pairs());
+        assert_eq!(closure_r2, closure_r1);
+    }
+
+    #[test]
+    fn r3_closure_has_a_cycle() {
+        let ctx = paper_ctx();
+        // R3 = R2 with (a31, a11) in place of (a11, a31).
+        let r3 = vec![
+            (a(1, 1), a(2, 2)),
+            (a(2, 1), a(1, 3)),
+            (a(3, 1), a(1, 1)), // reversed!
+            (a(2, 1), a(3, 3)),
+        ];
+        let closure = ctx.coherent_closure(&r3);
+        assert!(!ctx.is_partial_order(&closure));
+        assert!(!ctx.extendable_to_coherent_partial_order(&r3));
+        // The paper's derivation, step by step:
+        // (a31, a11) lifts (level(t3, t1) = 1, whole-transaction segment)
+        // to (a32, a11):
+        assert!(ctx.pair_in(&closure, a(3, 2), a(1, 1)));
+        // (a21, a33) lifts to (a22, a33):
+        assert!(ctx.pair_in(&closure, a(2, 2), a(3, 3)));
+        // and with (a11, a22) given, a11 -> a22 -> a33 -> (lift) a11
+        // closes the cycle:
+        assert!(ctx.pair_in(&closure, a(1, 1), a(2, 2)));
+        assert!(ctx.pair_in(&closure, a(3, 3), a(1, 1)));
+        assert!(
+            ctx.pair_in(&closure, a(1, 1), a(1, 1)),
+            "a11 precedes itself"
+        );
+    }
+
+    #[test]
+    fn condition_a_holds_by_construction() {
+        let ctx = paper_ctx();
+        let preds = ctx.materialize(&[]);
+        // Every intra pair is present.
+        for t in 0..3 {
+            for to in 0..4 {
+                for from in 0..to {
+                    assert!(ctx.pair_in(&preds, (t, from), (t, to)));
+                }
+            }
+        }
+        assert_eq!(ctx.is_coherent(&[], true), Ok(()));
+        assert!(ctx.extendable_to_coherent_partial_order(&[]));
+    }
+
+    #[test]
+    fn lemma_1_example_two_total_orders() {
+        // §5.1: "there are two coherent total orders containing R1".
+        // Check that R1's closure leaves exactly one pair of segments
+        // unordered (t1's and t2's second segments relative ordering...
+        // in fact the two printed orders differ in whether a13 a14 come
+        // before or after a23 a24). Verify both printed orders contain
+        // the closure and are coherent.
+        let ctx = paper_ctx();
+        let closure = ctx.coherent_closure(&r1_pairs());
+        // Order A: a11 a12 a21 a22 a13 a14 a23 a24 a31 a32 a33 a34.
+        let order_a = [
+            a(1, 1),
+            a(1, 2),
+            a(2, 1),
+            a(2, 2),
+            a(1, 3),
+            a(1, 4),
+            a(2, 3),
+            a(2, 4),
+            a(3, 1),
+            a(3, 2),
+            a(3, 3),
+            a(3, 4),
+        ];
+        // Order B: a11 a12 a21 a22 a23 a24 a13 a14 a31 a32 a33 a34.
+        let order_b = [
+            a(1, 1),
+            a(1, 2),
+            a(2, 1),
+            a(2, 2),
+            a(2, 3),
+            a(2, 4),
+            a(1, 3),
+            a(1, 4),
+            a(3, 1),
+            a(3, 2),
+            a(3, 3),
+            a(3, 4),
+        ];
+        for order in [order_a, order_b] {
+            // Total order as pair set.
+            let mut pairs = Vec::new();
+            for i in 0..order.len() {
+                for j in i + 1..order.len() {
+                    pairs.push((order[i], order[j]));
+                }
+            }
+            assert_eq!(ctx.is_coherent(&pairs, false), Ok(()), "order not coherent");
+            // Contains the closure.
+            let total = ctx.materialize(&pairs);
+            for v in 0..ctx.len() {
+                for u in closure[v].iter() {
+                    assert!(total[v].contains(u), "total order must contain closure");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Classical serializability: the baseline criterion the paper weakens.
+//!
+//! In this model every step is a general atomic read-modify-write of one
+//! entity, so two steps conflict exactly when they touch the same entity.
+//! The \[EGLT\]/\[BG\] characterization then says: an execution is
+//! serializable (equivalent to a serial one) iff its transaction-level
+//! conflict graph is acyclic — which is also precisely Theorem 2
+//! specialized to the flat 2-nest (a fact the test suite checks
+//! exhaustively and at random).
+
+use std::collections::HashMap;
+
+use mla_graph::{topo_sort, DiGraph};
+use mla_model::{Execution, TxnId};
+
+/// The transaction-level conflict graph of an execution: node per
+/// transaction (dense-local numbering in order of first appearance), edge
+/// `t -> t'` iff some step of `t` precedes a step of `t'` on the same
+/// entity. Returns the graph and the local-index-to-TxnId table.
+pub fn conflict_graph(e: &Execution) -> (DiGraph, Vec<TxnId>) {
+    let mut txns: Vec<TxnId> = Vec::new();
+    let mut local: HashMap<TxnId, u32> = HashMap::new();
+    for s in e.steps() {
+        local.entry(s.txn).or_insert_with(|| {
+            txns.push(s.txn);
+            txns.len() as u32 - 1
+        });
+    }
+    let mut g = DiGraph::new(txns.len());
+    let mut last_on_entity: HashMap<mla_model::EntityId, Vec<u32>> = HashMap::new();
+    // For edge purposes it suffices to connect each step's transaction to
+    // every *distinct* transaction that previously touched the entity.
+    for s in e.steps() {
+        let me = local[&s.txn];
+        let owners = last_on_entity.entry(s.entity).or_default();
+        for &prev in owners.iter() {
+            if prev != me {
+                g.add_edge_unique(prev, me);
+            }
+        }
+        if !owners.contains(&me) {
+            owners.push(me);
+        }
+    }
+    (g, txns)
+}
+
+/// Whether the execution is (conflict-)serializable. With general
+/// read-modify-write steps this is exact, not conservative: conflict
+/// equivalence and reordering equivalence coincide.
+pub fn is_serializable(e: &Execution) -> bool {
+    topo_sort(&conflict_graph(e).0).is_ok()
+}
+
+/// A serialization order (transactions in an order consistent with every
+/// conflict), or `None` if the execution is not serializable.
+pub fn serialization_order(e: &Execution) -> Option<Vec<TxnId>> {
+    let (g, txns) = conflict_graph(e);
+    topo_sort(&g)
+        .ok()
+        .map(|order| order.into_iter().map(|i| txns[i as usize]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_model::appdb::{is_correctable_by_enumeration, SerialCriterion};
+    use mla_model::{EntityId, Step};
+
+    fn step(txn: u32, seq: u32, entity: u32) -> Step {
+        Step {
+            txn: TxnId(txn),
+            seq,
+            entity: EntityId(entity),
+            observed: 0,
+            wrote: 0,
+        }
+    }
+
+    fn exec(order: &[(u32, u32, u32)]) -> Execution {
+        Execution::new(order.iter().map(|&(t, s, x)| step(t, s, x)).collect()).unwrap()
+    }
+
+    #[test]
+    fn serial_executions_are_serializable() {
+        let e = exec(&[(0, 0, 1), (0, 1, 2), (1, 0, 1), (1, 1, 2)]);
+        assert!(e.is_serial());
+        assert!(is_serializable(&e));
+        assert_eq!(serialization_order(&e), Some(vec![TxnId(0), TxnId(1)]));
+    }
+
+    #[test]
+    fn opposing_conflicts_are_not_serializable() {
+        let e = exec(&[(0, 0, 1), (1, 0, 1), (1, 1, 2), (0, 1, 2)]);
+        assert!(!is_serializable(&e));
+        assert!(serialization_order(&e).is_none());
+    }
+
+    #[test]
+    fn disjoint_interleaving_is_serializable() {
+        let e = exec(&[(0, 0, 1), (1, 0, 2), (0, 1, 3), (1, 1, 4)]);
+        assert!(!e.is_serial());
+        assert!(is_serializable(&e));
+    }
+
+    #[test]
+    fn serialization_order_respects_conflicts() {
+        let e = exec(&[(2, 0, 9), (0, 0, 9), (1, 0, 9)]);
+        let order = serialization_order(&e).unwrap();
+        assert_eq!(order, vec![TxnId(2), TxnId(0), TxnId(1)]);
+    }
+
+    #[test]
+    fn three_way_cycle_detected() {
+        // t0 -> t1 on x1, t1 -> t2 on x2, t2 -> t0 on x3.
+        let e = exec(&[
+            (0, 0, 1),
+            (1, 0, 1),
+            (1, 1, 2),
+            (2, 0, 2),
+            (2, 1, 3),
+            (0, 1, 3),
+        ]);
+        assert!(!is_serializable(&e));
+    }
+
+    #[test]
+    fn matches_enumeration_oracle_randomized() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(31337);
+        let mut yes = 0;
+        let mut no = 0;
+        for trial in 0..300 {
+            let txns = rng.gen_range(2..4usize);
+            let entities = rng.gen_range(1..4u32);
+            let lens: Vec<u32> = (0..txns).map(|_| rng.gen_range(1..4)).collect();
+            let total: u32 = lens.iter().sum();
+            let mut next_seq = vec![0u32; txns];
+            let mut order = Vec::new();
+            for _ in 0..total {
+                loop {
+                    let t = rng.gen_range(0..txns);
+                    if next_seq[t] < lens[t] {
+                        order.push((t as u32, next_seq[t], rng.gen_range(0..entities)));
+                        next_seq[t] += 1;
+                        break;
+                    }
+                }
+            }
+            let e = exec(&order);
+            let fast = is_serializable(&e);
+            let slow = is_correctable_by_enumeration(&e, &SerialCriterion);
+            assert_eq!(fast, slow, "trial {trial}: mismatch on {e}");
+            if fast {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+        }
+        assert!(yes > 10 && no > 10, "sampled both outcomes ({yes}/{no})");
+    }
+
+    #[test]
+    fn empty_execution() {
+        let e = Execution::empty();
+        assert!(is_serializable(&e));
+        assert_eq!(serialization_order(&e), Some(vec![]));
+    }
+}

@@ -1,0 +1,403 @@
+//! Online cycle detection via incremental topological ordering
+//! (Pearce–Kelly algorithm).
+//!
+//! The cycle-detection schedulers of §6 of the paper "generate explicitly
+//! the edges of the coherent closure of `<=_e` and check for cycles" as the
+//! execution unfolds. Rebuilding a static graph per step would be
+//! quadratic; [`IncrementalTopo`] instead maintains a topological order
+//! under edge insertions, reporting a concrete [`Cycle`] the moment an
+//! insertion would create one (the edge is then *not* inserted, so the
+//! structure stays acyclic and the scheduler can roll back a victim and
+//! retry).
+//!
+//! Node removal (needed when a transaction commits and its steps are
+//! garbage-collected, or aborts and its steps are undone) only deletes
+//! edges and therefore never invalidates the maintained order.
+
+use crate::digraph::NodeId;
+use crate::topo::Cycle;
+
+/// An acyclic directed graph maintained under edge insertion with an
+/// always-valid topological order.
+///
+/// ```
+/// use mla_graph::IncrementalTopo;
+///
+/// let mut g = IncrementalTopo::new(3);
+/// assert_eq!(g.add_edge(0, 1), Ok(true));
+/// assert_eq!(g.add_edge(1, 2), Ok(true));
+/// // Closing the cycle is rejected and the graph is left unchanged.
+/// assert!(g.add_edge(2, 0).is_err());
+/// assert!(g.position(0) < g.position(2));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalTopo {
+    succ: Vec<Vec<NodeId>>,
+    pred: Vec<Vec<NodeId>>,
+    /// `ord[v]` is the position of `v` in the maintained topological order:
+    /// for every edge `(u, v)`, `ord[u] < ord[v]`.
+    ord: Vec<u64>,
+    edge_count: usize,
+}
+
+impl IncrementalTopo {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        IncrementalTopo {
+            succ: vec![Vec::new(); n],
+            pred: vec![Vec::new(); n],
+            ord: (0..n as u64).collect(),
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes (including detached ones).
+    pub fn node_count(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Appends a fresh node, placed last in the topological order.
+    pub fn add_node(&mut self) -> NodeId {
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        // New nodes take a position beyond all existing ones. Positions are
+        // not compacted; u64 gives ample headroom.
+        let max = self.ord.iter().copied().max().map_or(0, |m| m + 1);
+        self.ord.push(max);
+        (self.succ.len() - 1) as NodeId
+    }
+
+    /// Position of `v` in the maintained topological order.
+    pub fn position(&self, v: NodeId) -> u64 {
+        self.ord[v as usize]
+    }
+
+    /// Whether the edge `(u, v)` is present.
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.succ[u as usize].contains(&v)
+    }
+
+    /// Successors of `u`.
+    pub fn successors(&self, u: NodeId) -> &[NodeId] {
+        &self.succ[u as usize]
+    }
+
+    /// Predecessors of `u`.
+    pub fn predecessors(&self, u: NodeId) -> &[NodeId] {
+        &self.pred[u as usize]
+    }
+
+    /// Inserts the edge `(u, v)`.
+    ///
+    /// Returns `Ok(true)` if inserted, `Ok(false)` if it already existed,
+    /// and `Err(cycle)` — leaving the graph unchanged — if insertion would
+    /// create a cycle. A self-edge is reported as a one-node cycle.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, Cycle> {
+        if u == v {
+            return Err(Cycle(vec![u]));
+        }
+        if self.contains_edge(u, v) {
+            return Ok(false);
+        }
+        let (lb, ub) = (self.ord[v as usize], self.ord[u as usize]);
+        if lb > ub {
+            // Already consistent with the maintained order.
+            self.insert_raw(u, v);
+            return Ok(true);
+        }
+        // Affected region: positions in [lb, ub]. Forward-search from v
+        // within the region; touching u means a v ->* u path exists and the
+        // new edge would close a cycle.
+        let delta_f = self.forward_region(v, u, ub)?;
+        let delta_b = self.backward_region(u, lb);
+        self.reorder(delta_b, delta_f);
+        self.insert_raw(u, v);
+        Ok(true)
+    }
+
+    /// Removes the edge `(u, v)` if present; returns whether it existed.
+    /// Edge removal never invalidates the maintained order.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let before = self.succ[u as usize].len();
+        self.succ[u as usize].retain(|&w| w != v);
+        if self.succ[u as usize].len() == before {
+            return false;
+        }
+        self.pred[v as usize].retain(|&w| w != u);
+        self.edge_count -= 1;
+        true
+    }
+
+    /// Detaches `v` from the graph: removes all incident edges. The node id
+    /// remains valid (and isolated) so dense external indexing stays intact.
+    pub fn detach_node(&mut self, v: NodeId) {
+        let outs = std::mem::take(&mut self.succ[v as usize]);
+        for w in outs {
+            self.pred[w as usize].retain(|&x| x != v);
+            self.edge_count -= 1;
+        }
+        let ins = std::mem::take(&mut self.pred[v as usize]);
+        for w in ins {
+            self.succ[w as usize].retain(|&x| x != v);
+            self.edge_count -= 1;
+        }
+    }
+
+    /// Whether a path `u -> ... -> v` of length >= 1 exists.
+    /// (Linear scan; intended for assertions and tests, not hot paths.)
+    pub fn has_path(&self, u: NodeId, v: NodeId) -> bool {
+        let mut stack = self.succ[u as usize].clone();
+        let mut seen = vec![false; self.node_count()];
+        while let Some(w) = stack.pop() {
+            if w == v {
+                return true;
+            }
+            if !std::mem::replace(&mut seen[w as usize], true) {
+                stack.extend_from_slice(&self.succ[w as usize]);
+            }
+        }
+        false
+    }
+
+    fn insert_raw(&mut self, u: NodeId, v: NodeId) {
+        self.succ[u as usize].push(v);
+        self.pred[v as usize].push(u);
+        self.edge_count += 1;
+    }
+
+    /// DFS forward from `v` restricted to positions `<= ub`. Errors with a
+    /// concrete cycle if `target` (= the edge's source `u`) is reached.
+    fn forward_region(&self, v: NodeId, target: NodeId, ub: u64) -> Result<Vec<NodeId>, Cycle> {
+        let mut parent: Vec<Option<NodeId>> = vec![None; self.node_count()];
+        let mut region = Vec::new();
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![v];
+        seen[v as usize] = true;
+        while let Some(w) = stack.pop() {
+            region.push(w);
+            for &x in &self.succ[w as usize] {
+                if x == target {
+                    // Witness: v -> ... -> w -> target over existing edges;
+                    // the wrap-around pair (target, v) is the rejected edge.
+                    let mut path = vec![w];
+                    let mut cur = w;
+                    while let Some(p) = parent[cur as usize] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse(); // v, ..., w
+                    path.push(target);
+                    return Err(Cycle(path));
+                }
+                if self.ord[x as usize] <= ub && !seen[x as usize] {
+                    seen[x as usize] = true;
+                    parent[x as usize] = Some(w);
+                    stack.push(x);
+                }
+            }
+        }
+        Ok(region)
+    }
+
+    /// DFS backward from `u` restricted to positions `>= lb`.
+    fn backward_region(&self, u: NodeId, lb: u64) -> Vec<NodeId> {
+        let mut region = Vec::new();
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![u];
+        seen[u as usize] = true;
+        while let Some(w) = stack.pop() {
+            region.push(w);
+            for &x in &self.pred[w as usize] {
+                if self.ord[x as usize] >= lb && !seen[x as usize] {
+                    seen[x as usize] = true;
+                    stack.push(x);
+                }
+            }
+        }
+        region
+    }
+
+    /// Pearce–Kelly reordering: the backward region (ending at `u`) must
+    /// precede the forward region (starting at `v`). Pool the positions of
+    /// both regions and redistribute them: backward nodes first, forward
+    /// nodes second, each sub-list keeping its existing relative order.
+    fn reorder(&mut self, mut delta_b: Vec<NodeId>, mut delta_f: Vec<NodeId>) {
+        delta_b.sort_unstable_by_key(|&w| self.ord[w as usize]);
+        delta_f.sort_unstable_by_key(|&w| self.ord[w as usize]);
+        let mut pool: Vec<u64> = delta_b
+            .iter()
+            .chain(delta_f.iter())
+            .map(|&w| self.ord[w as usize])
+            .collect();
+        pool.sort_unstable();
+        for (slot, &w) in pool.iter().zip(delta_b.iter().chain(delta_f.iter())) {
+            self.ord[w as usize] = *slot;
+        }
+    }
+
+    /// Verifies the maintained order against every edge. Test/debug helper.
+    pub fn check_invariants(&self) -> bool {
+        self.succ
+            .iter()
+            .enumerate()
+            .all(|(u, vs)| vs.iter().all(|&v| self.ord[u] < self.ord[v as usize]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_insertions_are_cheap() {
+        let mut t = IncrementalTopo::new(4);
+        assert_eq!(t.add_edge(0, 1), Ok(true));
+        assert_eq!(t.add_edge(1, 2), Ok(true));
+        assert_eq!(t.add_edge(2, 3), Ok(true));
+        assert_eq!(t.add_edge(0, 1), Ok(false));
+        assert!(t.check_invariants());
+        assert_eq!(t.edge_count(), 3);
+    }
+
+    #[test]
+    fn against_order_insertion_reorders() {
+        let mut t = IncrementalTopo::new(3);
+        t.add_edge(1, 2).unwrap();
+        t.add_edge(2, 0).unwrap(); // 0 initially precedes 1 and 2
+        assert!(t.check_invariants());
+        assert!(t.position(1) < t.position(2));
+        assert!(t.position(2) < t.position(0));
+    }
+
+    #[test]
+    fn cycle_rejected_and_graph_unchanged() {
+        let mut t = IncrementalTopo::new(3);
+        t.add_edge(0, 1).unwrap();
+        t.add_edge(1, 2).unwrap();
+        let cycle = t.add_edge(2, 0).unwrap_err();
+        // Witness runs over existing edges from the edge's head (0) to its
+        // tail (2); the rejected edge closes the loop.
+        assert_eq!(cycle.nodes().first(), Some(&0));
+        assert_eq!(cycle.nodes().last(), Some(&2));
+        assert!(!t.contains_edge(2, 0));
+        assert_eq!(t.edge_count(), 2);
+        assert!(t.check_invariants());
+        // The structure remains usable.
+        assert_eq!(t.add_edge(0, 2), Ok(true));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut t = IncrementalTopo::new(1);
+        let c = t.add_edge(0, 0).unwrap_err();
+        assert_eq!(c.nodes(), &[0]);
+    }
+
+    #[test]
+    fn cycle_witness_is_a_real_path() {
+        let mut t = IncrementalTopo::new(5);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4)] {
+            t.add_edge(u, v).unwrap();
+        }
+        let c = t.add_edge(4, 0).unwrap_err();
+        let nodes = c.nodes();
+        // Every consecutive pair inside the witness is an existing edge;
+        // the wrap-around pair is the rejected edge.
+        for pair in nodes.windows(2) {
+            assert!(t.contains_edge(pair[0], pair[1]));
+        }
+        assert_eq!(nodes[nodes.len() - 1], 4);
+        assert_eq!(nodes[0], 0);
+    }
+
+    #[test]
+    fn detach_allows_previously_cyclic_edge() {
+        let mut t = IncrementalTopo::new(3);
+        t.add_edge(0, 1).unwrap();
+        t.add_edge(1, 2).unwrap();
+        assert!(t.add_edge(2, 0).is_err());
+        t.detach_node(1); // breaks the 0 ->* 2 path
+        assert_eq!(t.edge_count(), 0);
+        assert_eq!(t.add_edge(2, 0), Ok(true));
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn remove_edge_semantics() {
+        let mut t = IncrementalTopo::new(2);
+        t.add_edge(0, 1).unwrap();
+        assert!(t.remove_edge(0, 1));
+        assert!(!t.remove_edge(0, 1));
+        assert_eq!(t.edge_count(), 0);
+        assert_eq!(t.add_edge(1, 0), Ok(true));
+    }
+
+    #[test]
+    fn add_node_extends_order() {
+        let mut t = IncrementalTopo::new(1);
+        let n = t.add_node();
+        assert_eq!(n, 1);
+        t.add_edge(1, 0).unwrap();
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn randomized_against_static_checker() {
+        use crate::digraph::DiGraph;
+        use crate::topo::is_acyclic;
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(13);
+        for trial in 0..100 {
+            let n = rng.gen_range(2..15);
+            let mut t = IncrementalTopo::new(n);
+            let mut accepted: Vec<(NodeId, NodeId)> = Vec::new();
+            for _ in 0..rng.gen_range(0..40) {
+                let u = rng.gen_range(0..n as NodeId);
+                let v = rng.gen_range(0..n as NodeId);
+                // Oracle: would accepted + (u,v) still be acyclic?
+                let mut candidate = accepted.clone();
+                candidate.push((u, v));
+                let static_ok = is_acyclic(&DiGraph::from_edges(n, candidate.iter().copied()));
+                match t.add_edge(u, v) {
+                    Ok(_) => {
+                        assert!(static_ok, "trial {trial}: accepted a cyclic edge ({u},{v})");
+                        accepted.push((u, v));
+                    }
+                    Err(_) => {
+                        assert!(
+                            !static_ok,
+                            "trial {trial}: rejected an acyclic edge ({u},{v})"
+                        );
+                    }
+                }
+                assert!(
+                    t.check_invariants(),
+                    "trial {trial}: order invariant broken"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_random_insertions_keep_invariant() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        let n = 60;
+        let mut t = IncrementalTopo::new(n);
+        let mut ok = 0;
+        for _ in 0..2000 {
+            let u = rng.gen_range(0..n as NodeId);
+            let v = rng.gen_range(0..n as NodeId);
+            if t.add_edge(u, v).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok > 0);
+        assert!(t.check_invariants());
+    }
+}

@@ -1,0 +1,145 @@
+//! Dense reachability: per-node ancestor/descendant bitsets.
+//!
+//! The reference coherent-closure fixpoint (DESIGN.md §6) represents the
+//! relation under construction as one predecessor [`BitSet`] per step and
+//! alternates transitive propagation with the paper's condition (b). This
+//! module provides the transitive-propagation half: given a graph, compute
+//! for every node the set of nodes that can reach it.
+
+use crate::bitset::BitSet;
+use crate::digraph::{DiGraph, NodeId};
+use crate::scc::tarjan;
+
+/// For every node `v`, the set of nodes `u` with a path `u -> ... -> v`
+/// of length >= 1 (so `v` itself is included only if `v` lies on a cycle).
+///
+/// Computed SCC-wise in reverse topological order, which is both correct on
+/// cyclic graphs and avoids the quadratic blowup of naive per-node DFS on
+/// dense DAGs.
+pub fn predecessor_sets(g: &DiGraph) -> Vec<BitSet> {
+    let n = g.node_count();
+    let cond = tarjan(g);
+    let mut preds: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+
+    // Tarjan numbers components in reverse topological order, so iterating
+    // components from the highest index downwards visits sources first.
+    let rev = g.reversed();
+    for comp in (0..cond.len() as u32).rev() {
+        let members = &cond.members[comp as usize];
+        // Union over all members: predecessors flowing in along any edge.
+        let mut acc = BitSet::new(n);
+        for &v in members {
+            for &u in rev.successors(v) {
+                acc.insert(u as usize);
+                // u's own predecessors are in preds[u] already if u is in
+                // an earlier (source-ward) component; if u is in this same
+                // component it will be handled by the cycle fill below.
+                acc.union_with(&preds[u as usize]);
+            }
+        }
+        if members.len() > 1 || g.has_edge(members[0], members[0]) {
+            // Every member of a nontrivial SCC reaches every member.
+            for &v in members {
+                acc.insert(v as usize);
+            }
+        }
+        for &v in members {
+            preds[v as usize] = acc.clone();
+        }
+    }
+    preds
+}
+
+/// Nodes reachable from `start` by paths of length >= 1.
+pub fn reachable_from(g: &DiGraph, start: NodeId) -> BitSet {
+    let n = g.node_count();
+    let mut seen = BitSet::new(n);
+    let mut stack: Vec<NodeId> = g.successors(start).to_vec();
+    while let Some(v) = stack.pop() {
+        if seen.insert(v as usize) {
+            stack.extend_from_slice(g.successors(v));
+        }
+    }
+    seen
+}
+
+/// Whether a path `u -> ... -> v` of length >= 1 exists.
+pub fn reaches(g: &DiGraph, u: NodeId, v: NodeId) -> bool {
+    reachable_from(g, u).contains(v as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force oracle built from repeated single-source DFS.
+    fn naive_predecessor_sets(g: &DiGraph) -> Vec<BitSet> {
+        let n = g.node_count();
+        let mut preds: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for u in 0..n as NodeId {
+            for v in reachable_from(g, u).iter() {
+                preds[v].insert(u as usize);
+            }
+        }
+        preds
+    }
+
+    #[test]
+    fn path_graph() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let p = predecessor_sets(&g);
+        assert_eq!(p[0].count(), 0);
+        assert_eq!(p[3].iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(reaches(&g, 0, 3));
+        assert!(!reaches(&g, 3, 0));
+        assert!(!reaches(&g, 0, 0), "acyclic node does not reach itself");
+    }
+
+    #[test]
+    fn cycle_members_reach_themselves() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 0), (1, 2)]);
+        let p = predecessor_sets(&g);
+        assert!(p[0].contains(0));
+        assert!(p[1].contains(1));
+        assert!(!p[2].contains(2));
+        assert_eq!(p[2].iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn self_loop_counts() {
+        let g = DiGraph::from_edges(2, [(0, 0), (0, 1)]);
+        let p = predecessor_sets(&g);
+        assert!(p[0].contains(0));
+        assert!(p[1].contains(0));
+        assert!(!p[1].contains(1));
+    }
+
+    #[test]
+    fn diamond() {
+        let g = DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let p = predecessor_sets(&g);
+        assert_eq!(p[3].iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        for trial in 0..300 {
+            let n = rng.gen_range(1..25);
+            let m = rng.gen_range(0..60);
+            let g = DiGraph::from_edges(
+                n,
+                (0..m).map(|_| (rng.gen_range(0..n as NodeId), rng.gen_range(0..n as NodeId))),
+            );
+            let fast = predecessor_sets(&g);
+            let slow = naive_predecessor_sets(&g);
+            assert_eq!(fast, slow, "trial {trial}: predecessor sets differ");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(predecessor_sets(&DiGraph::new(0)).is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! Strongly connected components (iterative Tarjan) and condensation.
+//!
+//! Stage `i` of the constructive proof of the paper's Lemma 1 builds a
+//! graph `G` over *segments*, totally orders its strongly connected
+//! components "so that G contains no edges from any segment in I_n to any
+//! segment in I_m, m < n", and then inserts all cross-component pairs. The
+//! [`Condensation`] returned here delivers the components already in a
+//! reverse-topological order (a property of Tarjan's algorithm), which the
+//! stage then reverses to obtain exactly that total order.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// The strongly-connected-component decomposition of a graph.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// `comp_of[v]` is the component index of node `v`.
+    pub comp_of: Vec<u32>,
+    /// `members[c]` lists the nodes of component `c`.
+    pub members: Vec<Vec<NodeId>>,
+}
+
+impl Condensation {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the graph had no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether every component is a singleton, i.e. the graph is a DAG
+    /// (ignoring self-loops, which Tarjan places in singleton components).
+    pub fn is_acyclic_ignoring_self_loops(&self) -> bool {
+        self.members.iter().all(|m| m.len() == 1)
+    }
+
+    /// The component DAG: an edge `c -> d` for every original edge between
+    /// distinct components, deduplicated.
+    pub fn component_dag(&self, g: &DiGraph) -> DiGraph {
+        let mut dag = DiGraph::new(self.len());
+        for (u, v) in g.edges() {
+            let (cu, cv) = (self.comp_of[u as usize], self.comp_of[v as usize]);
+            if cu != cv {
+                dag.add_edge_unique(cu, cv);
+            }
+        }
+        dag
+    }
+
+    /// Component indices in a topological order of the component DAG
+    /// (sources first). Tarjan emits components in reverse topological
+    /// order, so this is simply the reversed index sequence.
+    pub fn topo_component_order(&self) -> Vec<u32> {
+        (0..self.len() as u32).rev().collect()
+    }
+}
+
+/// Computes the strongly connected components of `g` with an iterative
+/// Tarjan's algorithm.
+///
+/// Components are numbered in reverse topological order of the component
+/// DAG: if there is an edge from component `a` to component `b != a`, then
+/// `a > b`.
+pub fn tarjan(g: &DiGraph) -> Condensation {
+    const UNVISITED: u32 = u32::MAX;
+    let n = g.node_count();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp_of = vec![UNVISITED; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    let mut next_index = 0u32;
+
+    // Explicit DFS frame: (node, next successor position to examine).
+    let mut call: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in 0..n as NodeId {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        call.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            let succs = g.successors(v);
+            if *pos < succs.len() {
+                let w = succs[*pos];
+                *pos += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    let comp_id = members.len() as u32;
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp_of[w as usize] = comp_id;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    members.push(comp);
+                }
+            }
+        }
+    }
+
+    Condensation { comp_of, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp_sets(c: &Condensation) -> Vec<Vec<NodeId>> {
+        let mut sets: Vec<Vec<NodeId>> = c
+            .members
+            .iter()
+            .map(|m| {
+                let mut m = m.clone();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        sets.sort();
+        sets
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let c = tarjan(&g);
+        assert_eq!(c.len(), 1);
+        assert_eq!(comp_sets(&c), vec![vec![0, 1, 2]]);
+        assert!(!c.is_acyclic_ignoring_self_loops());
+    }
+
+    #[test]
+    fn dag_gives_singletons_in_reverse_topo_order() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (0, 3), (3, 2)]);
+        let c = tarjan(&g);
+        assert_eq!(c.len(), 4);
+        assert!(c.is_acyclic_ignoring_self_loops());
+        // Reverse topological numbering: every edge goes to a smaller comp.
+        for (u, v) in g.edges() {
+            assert!(
+                c.comp_of[u as usize] > c.comp_of[v as usize],
+                "edge ({u},{v}) violates reverse-topo numbering"
+            );
+        }
+    }
+
+    #[test]
+    fn two_cycles_with_bridge() {
+        let g = DiGraph::from_edges(6, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (4, 5)]);
+        let c = tarjan(&g);
+        assert_eq!(comp_sets(&c), vec![vec![0, 1], vec![2, 3, 4], vec![5]]);
+        // {0,1} reaches {2,3,4} reaches {5}: numbering must strictly drop.
+        let c01 = c.comp_of[0];
+        let c234 = c.comp_of[2];
+        let c5 = c.comp_of[5];
+        assert!(c01 > c234 && c234 > c5);
+    }
+
+    #[test]
+    fn self_loop_is_singleton_component() {
+        let g = DiGraph::from_edges(2, [(0, 0), (0, 1)]);
+        let c = tarjan(&g);
+        assert_eq!(c.len(), 2);
+        // is_acyclic_ignoring_self_loops cannot see the self-loop.
+        assert!(c.is_acyclic_ignoring_self_loops());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = tarjan(&DiGraph::new(0));
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn disconnected_nodes_each_own_component() {
+        let c = tarjan(&DiGraph::new(5));
+        assert_eq!(c.len(), 5);
+        assert!(c.is_acyclic_ignoring_self_loops());
+    }
+
+    #[test]
+    fn component_dag_deduplicates_edges() {
+        // Two nodes in comp A both point into comp B: one DAG edge.
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 0), (0, 2), (1, 2), (2, 3), (3, 2)]);
+        let c = tarjan(&g);
+        let dag = c.component_dag(&g);
+        assert_eq!(dag.edge_count(), 1);
+        assert_eq!(dag.node_count(), 2);
+    }
+
+    #[test]
+    fn topo_component_order_respects_edges() {
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (3, 1), (2, 4)]);
+        let c = tarjan(&g);
+        let order = c.topo_component_order();
+        let pos: std::collections::HashMap<u32, usize> =
+            order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        for (u, v) in g.edges() {
+            let (cu, cv) = (c.comp_of[u as usize], c.comp_of[v as usize]);
+            if cu != cv {
+                assert!(pos[&cu] < pos[&cv]);
+            }
+        }
+    }
+
+    #[test]
+    fn large_path_graph_does_not_overflow_stack() {
+        // 200k-node path: recursion would overflow; the iterative version
+        // must not.
+        let n = 200_000;
+        let g = DiGraph::from_edges(n, (0..n as NodeId - 1).map(|i| (i, i + 1)));
+        let c = tarjan(&g);
+        assert_eq!(c.len(), n);
+    }
+}

@@ -1,0 +1,221 @@
+//! Topological sorting and witness-cycle extraction.
+//!
+//! Theorem 2 of the paper reduces correctability to acyclicity of the
+//! coherent closure. When the check fails we want more than a boolean: the
+//! experiments (and the cycle-detection scheduler's victim selection) need
+//! the *actual* cycle of steps. [`topo_sort`] returns either a topological
+//! order or a concrete [`Cycle`].
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// A cycle witness: a sequence of nodes `v0, v1, ..., vk` such that each
+/// consecutive pair is an edge and `(vk, v0)` is an edge. Self-loops yield
+/// a single-node cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cycle(pub Vec<NodeId>);
+
+impl Cycle {
+    /// The nodes on the cycle, in traversal order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.0
+    }
+
+    /// Length of the cycle (number of edges = number of nodes).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// A cycle always has at least one node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Result of [`topo_sort`].
+pub type TopoResult = Result<Vec<NodeId>, Cycle>;
+
+/// Kahn's algorithm. Returns a topological order (sources first) or a
+/// witness cycle if the graph is cyclic.
+pub fn topo_sort(g: &DiGraph) -> TopoResult {
+    let n = g.node_count();
+    let mut in_deg = g.in_degrees();
+    let mut order = Vec::with_capacity(n);
+    let mut queue: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| in_deg[v as usize] == 0)
+        .collect();
+
+    while let Some(v) = queue.pop() {
+        order.push(v);
+        for &w in g.successors(v) {
+            in_deg[w as usize] -= 1;
+            if in_deg[w as usize] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+
+    if order.len() == n {
+        Ok(order)
+    } else {
+        // Some node kept positive in-degree: it has a residual predecessor,
+        // which itself has a residual predecessor, and so on — walking
+        // backwards must eventually repeat a node, exposing a cycle.
+        let start = (0..n as NodeId)
+            .find(|&v| in_deg[v as usize] > 0)
+            .expect("cyclic graph must have a node with residual in-degree");
+        Err(find_cycle_backwards(g, start, &in_deg))
+    }
+}
+
+/// Whether the graph is acyclic.
+pub fn is_acyclic(g: &DiGraph) -> bool {
+    topo_sort(g).is_ok()
+}
+
+/// Finds any cycle in `g`, or `None` if it is a DAG.
+pub fn find_cycle(g: &DiGraph) -> Option<Cycle> {
+    topo_sort(g).err()
+}
+
+/// Walks *backwards* within the residual (positive in-degree) subgraph
+/// from `start` until a node repeats, then extracts the loop.
+///
+/// In Kahn's residual subgraph every node has positive residual in-degree,
+/// and a residual edge's source is itself residual (a popped predecessor
+/// would have decremented the edge away). So a backward walk never gets
+/// stuck and must repeat within `n` steps; the repeated suffix, reversed,
+/// is a forward cycle.
+fn find_cycle_backwards(g: &DiGraph, start: NodeId, in_deg: &[usize]) -> Cycle {
+    let rev = g.reversed();
+    let n = g.node_count();
+    let mut visited_at = vec![usize::MAX; n];
+    let mut path: Vec<NodeId> = Vec::new();
+    let mut v = start;
+    loop {
+        if visited_at[v as usize] != usize::MAX {
+            let cycle_start = visited_at[v as usize];
+            let mut cycle: Vec<NodeId> = path[cycle_start..].to_vec();
+            cycle.reverse(); // backward walk order -> forward edge order
+            return Cycle(cycle);
+        }
+        visited_at[v as usize] = path.len();
+        path.push(v);
+        // Prefer a predecessor already on the walk (tightest loop).
+        v = rev
+            .successors(v)
+            .iter()
+            .copied()
+            .filter(|&w| in_deg[w as usize] > 0)
+            .max_by_key(|&w| {
+                let at = visited_at[w as usize];
+                if at == usize::MAX {
+                    (0, 0)
+                } else {
+                    (1, at)
+                }
+            })
+            .expect("residual node must have a residual predecessor");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_valid_topo(g: &DiGraph, order: &[NodeId]) {
+        assert_eq!(order.len(), g.node_count());
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.node_count()];
+            for (i, &v) in order.iter().enumerate() {
+                p[v as usize] = i;
+            }
+            p
+        };
+        for (u, v) in g.edges() {
+            assert!(pos[u as usize] < pos[v as usize], "edge ({u},{v}) reversed");
+        }
+    }
+
+    fn assert_valid_cycle(g: &DiGraph, c: &Cycle) {
+        let nodes = c.nodes();
+        assert!(!nodes.is_empty());
+        for i in 0..nodes.len() {
+            let u = nodes[i];
+            let v = nodes[(i + 1) % nodes.len()];
+            assert!(g.has_edge(u, v), "cycle edge ({u},{v}) missing");
+        }
+    }
+
+    #[test]
+    fn sorts_a_dag() {
+        let g = DiGraph::from_edges(5, [(0, 2), (1, 2), (2, 3), (3, 4), (1, 4)]);
+        let order = topo_sort(&g).expect("DAG");
+        assert_valid_topo(&g, &order);
+    }
+
+    #[test]
+    fn detects_a_triangle() {
+        let g = DiGraph::from_edges(4, [(3, 0), (0, 1), (1, 2), (2, 0)]);
+        let c = find_cycle(&g).expect("cyclic");
+        assert_valid_cycle(&g, &c);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn detects_self_loop() {
+        let g = DiGraph::from_edges(2, [(0, 1), (1, 1)]);
+        let c = find_cycle(&g).expect("self-loop is a cycle");
+        assert_valid_cycle(&g, &c);
+        assert_eq!(c.nodes(), &[1]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(topo_sort(&DiGraph::new(0)).unwrap(), Vec::<NodeId>::new());
+        assert_eq!(topo_sort(&DiGraph::new(1)).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn cycle_reachable_only_through_prefix() {
+        // 0 -> 1 -> 2 -> 3 -> 1 : cycle is {1,2,3}, entered via 0.
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 1)]);
+        let c = find_cycle(&g).expect("cyclic");
+        assert_valid_cycle(&g, &c);
+        assert_eq!(c.len(), 3);
+        assert!(!c.nodes().contains(&0));
+    }
+
+    #[test]
+    fn two_disjoint_cycles_returns_one() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let c = find_cycle(&g).expect("cyclic");
+        assert_valid_cycle(&g, &c);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn is_acyclic_agrees_with_scc() {
+        use crate::scc::tarjan;
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        for trial in 0..200 {
+            let n = rng.gen_range(1..20);
+            let m = rng.gen_range(0..40);
+            let g = DiGraph::from_edges(
+                n,
+                (0..m).map(|_| (rng.gen_range(0..n as NodeId), rng.gen_range(0..n as NodeId))),
+            );
+            let has_self_loop = g.edges().any(|(u, v)| u == v);
+            let scc_acyclic = tarjan(&g).is_acyclic_ignoring_self_loops() && !has_self_loop;
+            assert_eq!(is_acyclic(&g), scc_acyclic, "trial {trial} disagrees");
+        }
+    }
+
+    #[test]
+    fn long_path_no_stack_overflow() {
+        let n = 200_000;
+        let g = DiGraph::from_edges(n, (0..n as NodeId - 1).map(|i| (i, i + 1)));
+        let order = topo_sort(&g).expect("path is a DAG");
+        assert_eq!(order.len(), n);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the graph substrate.
+
+#![allow(clippy::needless_range_loop)] // dense-index pairwise comparisons
+
+use std::collections::HashSet;
+
+use mla_graph::reach::{predecessor_sets, reachable_from};
+use mla_graph::topo::is_acyclic;
+use mla_graph::{find_cycle, tarjan, topo_sort, BitSet, DiGraph, IncrementalTopo};
+use proptest::prelude::*;
+
+/// Strategy: a graph as (node count, edge list).
+fn graph_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (1..=max_n).prop_flat_map(move |n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn bitset_behaves_like_hashset(ops in proptest::collection::vec((0usize..64, any::<bool>()), 0..200)) {
+        let mut bs = BitSet::new(64);
+        let mut hs: HashSet<usize> = HashSet::new();
+        for (x, insert) in ops {
+            if insert {
+                prop_assert_eq!(bs.insert(x), hs.insert(x));
+            } else {
+                prop_assert_eq!(bs.remove(x), hs.remove(&x));
+            }
+            prop_assert_eq!(bs.count(), hs.len());
+            prop_assert_eq!(bs.contains(x), hs.contains(&x));
+        }
+        let from_iter: Vec<usize> = bs.iter().collect();
+        let mut expected: Vec<usize> = hs.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(from_iter, expected);
+    }
+
+    #[test]
+    fn bitset_union_is_set_union(a in proptest::collection::hash_set(0usize..128, 0..50),
+                                 b in proptest::collection::hash_set(0usize..128, 0..50)) {
+        let mut ba = BitSet::new(128);
+        let mut bb = BitSet::new(128);
+        for &x in &a { ba.insert(x); }
+        for &x in &b { bb.insert(x); }
+        let changed = ba.union_with_returning_changed(&bb);
+        prop_assert_eq!(changed, !b.is_subset(&a));
+        let union: HashSet<usize> = a.union(&b).copied().collect();
+        prop_assert_eq!(ba.count(), union.len());
+        for x in union { prop_assert!(ba.contains(x)); }
+    }
+
+    #[test]
+    fn topo_sort_is_sound_and_complete((n, edges) in graph_strategy(16, 40)) {
+        let g = DiGraph::from_edges(n, edges.iter().copied());
+        match topo_sort(&g) {
+            Ok(order) => {
+                // A valid topological order over all nodes.
+                prop_assert_eq!(order.len(), n);
+                let mut pos = vec![0usize; n];
+                for (i, &v) in order.iter().enumerate() { pos[v as usize] = i; }
+                for (u, v) in g.edges() {
+                    prop_assert!(pos[u as usize] < pos[v as usize]);
+                }
+                // And the SCC view agrees: all singletons, no self-loops.
+                prop_assert!(tarjan(&g).is_acyclic_ignoring_self_loops());
+                prop_assert!(!g.edges().any(|(u, v)| u == v));
+            }
+            Err(cycle) => {
+                // The witness is a real cycle in the graph.
+                let nodes = cycle.nodes();
+                prop_assert!(!nodes.is_empty());
+                for i in 0..nodes.len() {
+                    let u = nodes[i];
+                    let v = nodes[(i + 1) % nodes.len()];
+                    prop_assert!(g.has_edge(u, v), "cycle edge ({u},{v}) missing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scc_members_mutually_reachable((n, edges) in graph_strategy(12, 30)) {
+        let g = DiGraph::from_edges(n, edges.iter().copied());
+        let c = tarjan(&g);
+        for members in &c.members {
+            if members.len() < 2 { continue; }
+            for &a in members {
+                let reach = reachable_from(&g, a);
+                for &b in members {
+                    if a != b {
+                        prop_assert!(reach.contains(b as usize),
+                            "SCC members {a},{b} must be mutually reachable");
+                    }
+                }
+            }
+        }
+        // Cross-component edges respect reverse-topological numbering.
+        for (u, v) in g.edges() {
+            let (cu, cv) = (c.comp_of[u as usize], c.comp_of[v as usize]);
+            if cu != cv {
+                prop_assert!(cu > cv);
+            }
+        }
+    }
+
+    #[test]
+    fn predecessor_sets_match_per_node_dfs((n, edges) in graph_strategy(12, 30)) {
+        let g = DiGraph::from_edges(n, edges.iter().copied());
+        let preds = predecessor_sets(&g);
+        for u in 0..n as u32 {
+            let reach = reachable_from(&g, u);
+            for v in 0..n {
+                prop_assert_eq!(reach.contains(v), preds[v].contains(u as usize),
+                    "pred/reach disagreement at ({}, {})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_topo_equals_batch((n, edges) in graph_strategy(12, 40)) {
+        let mut inc = IncrementalTopo::new(n);
+        let mut accepted: Vec<(u32, u32)> = Vec::new();
+        for (u, v) in edges {
+            let mut candidate = accepted.clone();
+            candidate.push((u, v));
+            let batch_ok = is_acyclic(&DiGraph::from_edges(n, candidate.iter().copied()));
+            match inc.add_edge(u, v) {
+                Ok(_) => {
+                    prop_assert!(batch_ok, "incremental accepted a cyclic edge ({u},{v})");
+                    accepted.push((u, v));
+                }
+                Err(_) => prop_assert!(!batch_ok, "incremental rejected an acyclic edge ({u},{v})"),
+            }
+            prop_assert!(inc.check_invariants());
+        }
+    }
+
+    #[test]
+    fn find_cycle_none_iff_acyclic((n, edges) in graph_strategy(14, 35)) {
+        let g = DiGraph::from_edges(n, edges.iter().copied());
+        prop_assert_eq!(find_cycle(&g).is_none(), is_acyclic(&g));
+    }
+}

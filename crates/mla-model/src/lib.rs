@@ -1,0 +1,41 @@
+//! The asynchronous process/variable model of §3 of
+//! *Multilevel Atomicity* (Lynch, 1982).
+//!
+//! The paper models an application database as a centralized concurrent
+//! system of **transactions** (processes / nondeterministic automata)
+//! acting on **entities** (variables), together with a set `C` of *correct*
+//! interleavings. This crate implements that model directly:
+//!
+//! * [`ids`] — `TxnId`, `EntityId`, `Value` newtypes.
+//! * [`step::Step`] — one atomic access: a transaction touches one entity,
+//!   observing its value and possibly replacing it (general read-modify-
+//!   write steps; pure reads and blind writes are the special cases the
+//!   paper notes are "permissible special cases").
+//! * [`execution::Execution`] — a totally ordered set of steps, with the
+//!   dependency partial order `<=_e` (§3.1), execution equivalence
+//!   (`<=_e` identity), and enumeration of all equivalent executions
+//!   (the linear extensions of `<=_e`) — the brute-force oracle against
+//!   which `mla-core`'s Theorem 2 decision procedure is property-tested.
+//! * [`program`] — transactions as automata ([`program::Program`]): local
+//!   state, conditional branching on observed values, plus [`program::System`]
+//!   which validates executions against the consistency requirements of
+//!   §3.1 and *generates* executions from interleaving schedules.
+//! * [`appdb`] — application databases `(S, C)`: a [`appdb::Criterion`]
+//!   is the set `C`; [`appdb::is_correctable_by_enumeration`] decides
+//!   correctability by trying every equivalent execution (tiny inputs
+//!   only; the whole point of the paper's Theorem 2 is to avoid this).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appdb;
+pub mod execution;
+pub mod ids;
+pub mod program;
+pub mod step;
+
+pub use appdb::{Criterion, SerialCriterion};
+pub use execution::Execution;
+pub use ids::{EntityId, TxnId, Value};
+pub use program::{LocalState, Program, System};
+pub use step::Step;

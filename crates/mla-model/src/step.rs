@@ -1,0 +1,83 @@
+//! Atomic execution steps.
+
+use crate::ids::{EntityId, TxnId, Value};
+
+/// One atomic execution step (§3.1): transaction `txn` performs its
+/// `seq`-th access, touching `entity`, beginning with the entity holding
+/// `observed` and leaving it holding `wrote`.
+///
+/// This is the paper's fully general access — "arbitrary accesses to
+/// entities, not necessarily just reading or writing steps". A pure read
+/// has `wrote == observed`; a blind write ignores `observed` when choosing
+/// `wrote` but still records it (the model requires every step to begin
+/// with the variable's current value).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// The transaction this step belongs to.
+    pub txn: TxnId,
+    /// Position of this step within its transaction (0-based). The pair
+    /// `(txn, seq)` identifies the step across all reorderings of an
+    /// execution — it is the paper's formal element "(i, a_i)".
+    pub seq: u32,
+    /// The entity accessed.
+    pub entity: EntityId,
+    /// Value of the entity when the step began.
+    pub observed: Value,
+    /// Value of the entity when the step finished.
+    pub wrote: Value,
+}
+
+impl Step {
+    /// Whether the step left the entity unchanged (a pure read).
+    pub fn is_read(&self) -> bool {
+        self.observed == self.wrote
+    }
+
+    /// Stable identity of the step across reorderings.
+    pub fn key(&self) -> (TxnId, u32) {
+        (self.txn, self.seq)
+    }
+}
+
+impl std::fmt::Display for Step {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}#{}@{}[{}->{}]",
+            self.txn, self.seq, self.entity, self.observed, self.wrote
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(txn: u32, seq: u32, entity: u32, observed: Value, wrote: Value) -> Step {
+        Step {
+            txn: TxnId(txn),
+            seq,
+            entity: EntityId(entity),
+            observed,
+            wrote,
+        }
+    }
+
+    #[test]
+    fn read_detection() {
+        assert!(step(0, 0, 1, 5, 5).is_read());
+        assert!(!step(0, 0, 1, 5, 6).is_read());
+    }
+
+    #[test]
+    fn key_ignores_effects() {
+        let a = step(2, 3, 1, 5, 6);
+        let b = step(2, 3, 9, 0, 0);
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(step(1, 2, 3, 4, 5).to_string(), "t1#2@x3[4->5]");
+    }
+}

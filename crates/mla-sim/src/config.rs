@@ -1,0 +1,73 @@
+//! Simulation parameters.
+
+/// Configuration of the simulated network and scheduling environment.
+/// All times are in abstract ticks.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of processors; entity `x` lives on processor `x mod p`.
+    pub processors: usize,
+    /// Message latency between distinct processors.
+    pub latency_base: u64,
+    /// Extra uniform latency in `0..=jitter` (seeded).
+    pub latency_jitter: u64,
+    /// Latency when source and destination processor coincide.
+    pub latency_local: u64,
+    /// Processor service time per step (also consumed by a deferred
+    /// request — polling a lock costs real work).
+    pub step_service: u64,
+    /// Delay before a deferred request retries.
+    pub retry_delay: u64,
+    /// Base restart delay after an abort; doubles per attempt (capped)
+    /// plus seeded jitter, to break livelock symmetry.
+    pub restart_base: u64,
+    /// Hard event budget; exceeding it flags the run as timed out.
+    pub max_events: u64,
+    /// RNG seed (latency jitter, backoff jitter).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            processors: 4,
+            latency_base: 10,
+            latency_jitter: 4,
+            latency_local: 1,
+            step_service: 1,
+            retry_delay: 8,
+            restart_base: 25,
+            max_events: 5_000_000,
+            seed: 0xD1CE,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A config with the given seed, other parameters default.
+    pub fn seeded(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SimConfig::default();
+        assert!(c.processors > 0);
+        assert!(c.max_events > 1000);
+        assert!(c.latency_base >= c.latency_local);
+    }
+
+    #[test]
+    fn seeded_overrides_only_seed() {
+        let c = SimConfig::seeded(42);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.processors, SimConfig::default().processors);
+    }
+}

@@ -1,0 +1,69 @@
+//! The concurrency-control interface plugged into every processor.
+
+use mla_model::TxnId;
+use mla_storage::StepRecord;
+
+use crate::world::World;
+
+/// What a control tells the processor to do with an arriving step
+/// request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Perform the step now.
+    Grant,
+    /// Hold the request; the simulator retries after
+    /// [`crate::SimConfig::retry_delay`].
+    Defer,
+    /// Roll back the named transactions (the simulator expands the set
+    /// with every transaction reached by the undo cascade), restart them
+    /// after a backoff, and retry the requesting step afterwards (unless
+    /// the requester itself was a victim).
+    Abort(Vec<TxnId>),
+}
+
+/// A §6 concurrency control: decides step admission, observes performed
+/// steps, commits, and rollbacks. One control instance serves the whole
+/// simulated network (the paper's controls are described globally; a
+/// distributed implementation would replicate the same state — modelling
+/// that replication's cost is outside this reproduction's scope and
+/// noted in DESIGN.md).
+pub trait Control {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// A step request of `txn` (for `world.instance(txn).next_entity()`)
+    /// has reached its entity's processor. Decide its fate.
+    fn decide(&mut self, txn: TxnId, world: &World) -> Decision;
+
+    /// `record` was just performed.
+    fn performed(&mut self, record: &StepRecord, world: &World) {
+        let _ = (record, world);
+    }
+
+    /// `txn` performed its last step and is now (tentatively) committed.
+    fn committed(&mut self, txn: TxnId, world: &World) {
+        let _ = (txn, world);
+    }
+
+    /// `txn` was rolled back (as victim or cascade member) and will
+    /// restart. Its journal records are already undone.
+    fn aborted(&mut self, txn: TxnId, world: &World) {
+        let _ = (txn, world);
+    }
+}
+
+/// The trivial control: grants everything. Produces arbitrary
+/// interleavings — the "unconstrained" extreme of §1. Useful as a
+/// baseline and for exercising the simulator itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FreeForAll;
+
+impl Control for FreeForAll {
+    fn name(&self) -> &'static str {
+        "free-for-all"
+    }
+
+    fn decide(&mut self, _txn: TxnId, _world: &World) -> Decision {
+        Decision::Grant
+    }
+}

@@ -1,0 +1,434 @@
+//! Entity storage with undo logging — the substrate the §6 concurrency
+//! controls run on.
+//!
+//! The paper's schedulers need more than a key-value map: the
+//! cycle-detection control rolls transactions back, and multilevel
+//! atomicity makes rollback *cascading* (§6 notes an aborted transaction
+//! can force rollback of transactions that read its published partial
+//! results, potentially in long chains). [`Store`] therefore journals
+//! every performed step as a [`StepRecord`] and supports undoing any
+//! per-entity suffix of the journal in reverse order, verifying at each
+//! undo that the store still holds the value the step wrote (the
+//! scheduler must have undone every later access to the entity first —
+//! exactly the cascade).
+//!
+//! The surviving journal is replayable as an [`Execution`], which is how
+//! every simulation feeds its actual history back through the offline
+//! Theorem 2 checker (the "safety oracle" in DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use mla_model::{EntityId, Execution, Step, TxnId, Value};
+
+/// A journaled step: what [`Store::perform`] did, with enough information
+/// to undo it and to reconstruct the execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepRecord {
+    /// Monotone journal id (performance order).
+    pub id: u64,
+    /// The transaction that performed the step.
+    pub txn: TxnId,
+    /// The step's sequence number within the transaction's current run.
+    pub seq: u32,
+    /// The entity accessed.
+    pub entity: EntityId,
+    /// Entity value before the step.
+    pub observed: Value,
+    /// Entity value after the step.
+    pub wrote: Value,
+}
+
+impl StepRecord {
+    /// The record as a model [`Step`].
+    pub fn as_step(&self) -> Step {
+        Step {
+            txn: self.txn,
+            seq: self.seq,
+            entity: self.entity,
+            observed: self.observed,
+            wrote: self.wrote,
+        }
+    }
+}
+
+/// Errors from [`Store::undo`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UndoError {
+    /// The record is not live in the journal (already undone, or never
+    /// performed here).
+    NotLive {
+        /// The offending record id.
+        id: u64,
+    },
+    /// The entity no longer holds the value the step wrote: some later
+    /// access to the entity is still live and must be undone first.
+    NotLatest {
+        /// The offending record id.
+        id: u64,
+        /// The value the entity currently holds.
+        current: Value,
+        /// The value the record wrote (and expected to find).
+        wrote: Value,
+    },
+}
+
+impl std::fmt::Display for UndoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UndoError::NotLive { id } => write!(f, "record {id} is not live"),
+            UndoError::NotLatest { id, current, wrote } => write!(
+                f,
+                "record {id} is not the latest access: entity holds {current}, step wrote {wrote}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UndoError {}
+
+/// The entity store: current values plus the live journal.
+///
+/// ```
+/// use mla_storage::Store;
+/// use mla_model::{EntityId, TxnId};
+///
+/// let mut store = Store::new([(EntityId(0), 100)]);
+/// let w = store.perform(TxnId(0), 0, EntityId(0), |v| v - 30);
+/// assert_eq!(store.value(EntityId(0)), 70);
+/// // Roll it back (reverse order, full cascade — trivially just `w`).
+/// store.undo(&[w]).unwrap();
+/// assert_eq!(store.value(EntityId(0)), 100);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Store {
+    values: HashMap<EntityId, Value>,
+    initial: HashMap<EntityId, Value>,
+    /// Live journal, in performance order. Undone records are removed.
+    journal: Vec<StepRecord>,
+    next_id: u64,
+    undone_count: u64,
+}
+
+impl Store {
+    /// Creates a store; entities absent from `initial` start at 0.
+    pub fn new(initial: impl IntoIterator<Item = (EntityId, Value)>) -> Self {
+        let initial: HashMap<EntityId, Value> = initial.into_iter().collect();
+        Store {
+            values: initial.clone(),
+            initial,
+            journal: Vec::new(),
+            next_id: 0,
+            undone_count: 0,
+        }
+    }
+
+    /// Current value of an entity.
+    pub fn value(&self, e: EntityId) -> Value {
+        self.values.get(&e).copied().unwrap_or(0)
+    }
+
+    /// The entity's configured initial value.
+    pub fn initial_value(&self, e: EntityId) -> Value {
+        self.initial.get(&e).copied().unwrap_or(0)
+    }
+
+    /// Performs one step: applies `f` to the entity's current value and
+    /// journals the access.
+    pub fn perform(
+        &mut self,
+        txn: TxnId,
+        seq: u32,
+        entity: EntityId,
+        f: impl FnOnce(Value) -> Value,
+    ) -> StepRecord {
+        let observed = self.value(entity);
+        let wrote = f(observed);
+        self.values.insert(entity, wrote);
+        let record = StepRecord {
+            id: self.next_id,
+            txn,
+            seq,
+            entity,
+            observed,
+            wrote,
+        };
+        self.next_id += 1;
+        self.journal.push(record);
+        record
+    }
+
+    /// Undoes `records`, which must be supplied in **reverse** performance
+    /// order.
+    ///
+    /// A *value-changing* record must be the latest live value-changing
+    /// access to its entity when reached (the caller — the scheduler —
+    /// computes that cascade). A *pure read* (`wrote == observed`) is a
+    /// no-op in the entity's value chain and may be removed from anywhere
+    /// in the journal without disturbing later accesses — this is what
+    /// keeps read-only transactions (audits, snapshots) from dragging
+    /// every later writer into their rollbacks.
+    ///
+    /// On error the store is left with all records preceding the failing
+    /// one already undone.
+    pub fn undo(&mut self, records: &[StepRecord]) -> Result<(), UndoError> {
+        for r in records {
+            let pos = self
+                .journal
+                .iter()
+                .rposition(|j| j.id == r.id)
+                .ok_or(UndoError::NotLive { id: r.id })?;
+            let live = self.journal[pos];
+            if live.wrote != live.observed {
+                let current = self.value(live.entity);
+                if current != live.wrote {
+                    return Err(UndoError::NotLatest {
+                        id: r.id,
+                        current,
+                        wrote: live.wrote,
+                    });
+                }
+                self.values.insert(live.entity, live.observed);
+            }
+            self.journal.remove(pos);
+            self.undone_count += 1;
+        }
+        Ok(())
+    }
+
+    /// All records of a transaction still live in the journal, in
+    /// performance order.
+    pub fn live_records_of(&self, txn: TxnId) -> Vec<StepRecord> {
+        self.journal
+            .iter()
+            .copied()
+            .filter(|r| r.txn == txn)
+            .collect()
+    }
+
+    /// The latest live access to `entity`, if any.
+    pub fn latest_access(&self, entity: EntityId) -> Option<StepRecord> {
+        self.journal
+            .iter()
+            .rev()
+            .find(|r| r.entity == entity)
+            .copied()
+    }
+
+    /// Every live record with id >= `from`, in performance order. This is
+    /// the tail a cascading rollback must consider.
+    pub fn live_records_since(&self, from: u64) -> Vec<StepRecord> {
+        self.journal
+            .iter()
+            .copied()
+            .filter(|r| r.id >= from)
+            .collect()
+    }
+
+    /// The live journal, in performance order.
+    pub fn journal(&self) -> &[StepRecord] {
+        &self.journal
+    }
+
+    /// Number of records undone over the store's lifetime (rollback work —
+    /// an experiment metric).
+    pub fn undone_count(&self) -> u64 {
+        self.undone_count
+    }
+
+    /// Rebuilds the surviving history as an [`Execution`].
+    ///
+    /// # Panics
+    /// Panics if surviving per-transaction sequences are not contiguous —
+    /// the scheduler must undo whole transaction suffixes, never interior
+    /// steps.
+    pub fn execution(&self) -> Execution {
+        Execution::new(self.journal.iter().map(StepRecord::as_step).collect())
+            .expect("journal sequences must be contiguous per transaction")
+    }
+
+    /// Sum of values over a set of entities (used by audit-style checks).
+    pub fn total(&self, entities: impl IntoIterator<Item = EntityId>) -> Value {
+        entities.into_iter().map(|e| self.value(e)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(x: u32) -> EntityId {
+        EntityId(x)
+    }
+
+    fn t(x: u32) -> TxnId {
+        TxnId(x)
+    }
+
+    #[test]
+    fn perform_reads_and_writes() {
+        let mut s = Store::new([(e(0), 100)]);
+        let r = s.perform(t(0), 0, e(0), |v| v - 30);
+        assert_eq!(r.observed, 100);
+        assert_eq!(r.wrote, 70);
+        assert_eq!(s.value(e(0)), 70);
+        assert_eq!(s.value(e(9)), 0, "absent entities default to 0");
+        assert_eq!(s.initial_value(e(0)), 100);
+    }
+
+    #[test]
+    fn journal_ids_are_monotone() {
+        let mut s = Store::new([]);
+        let a = s.perform(t(0), 0, e(0), |v| v + 1);
+        let b = s.perform(t(1), 0, e(1), |v| v + 1);
+        assert!(a.id < b.id);
+        assert_eq!(s.journal().len(), 2);
+    }
+
+    #[test]
+    fn undo_restores_values_and_journal() {
+        let mut s = Store::new([(e(0), 10)]);
+        let r0 = s.perform(t(0), 0, e(0), |v| v + 5);
+        let r1 = s.perform(t(0), 1, e(1), |_| 42);
+        s.undo(&[r1, r0]).unwrap();
+        assert_eq!(s.value(e(0)), 10);
+        assert_eq!(s.value(e(1)), 0);
+        assert!(s.journal().is_empty());
+        assert_eq!(s.undone_count(), 2);
+    }
+
+    #[test]
+    fn undo_rejects_stale_record() {
+        let mut s = Store::new([]);
+        let r0 = s.perform(t(0), 0, e(0), |_| 1);
+        let _r1 = s.perform(t(1), 0, e(0), |_| 2);
+        // r0 is no longer the latest access to e0.
+        let err = s.undo(&[r0]).unwrap_err();
+        assert!(matches!(
+            err,
+            UndoError::NotLatest {
+                current: 2,
+                wrote: 1,
+                ..
+            }
+        ));
+        // Undo in proper cascade order works.
+        let r1 = s.latest_access(e(0)).unwrap();
+        s.undo(&[r1, r0]).unwrap();
+        assert_eq!(s.value(e(0)), 0);
+    }
+
+    #[test]
+    fn undo_rejects_double_undo() {
+        let mut s = Store::new([]);
+        let r = s.perform(t(0), 0, e(0), |_| 1);
+        s.undo(&[r]).unwrap();
+        assert_eq!(s.undo(&[r]).unwrap_err(), UndoError::NotLive { id: r.id });
+    }
+
+    #[test]
+    fn cascade_queries() {
+        let mut s = Store::new([]);
+        let r0 = s.perform(t(0), 0, e(0), |_| 1);
+        let r1 = s.perform(t(1), 0, e(0), |_| 2);
+        let r2 = s.perform(t(1), 1, e(1), |_| 3);
+        assert_eq!(s.live_records_of(t(1)), vec![r1, r2]);
+        assert_eq!(s.live_records_since(r1.id), vec![r1, r2]);
+        assert_eq!(s.latest_access(e(0)), Some(r1));
+        assert_eq!(s.latest_access(e(2)), None);
+        let _ = r0;
+    }
+
+    #[test]
+    fn execution_reconstruction_is_valid() {
+        use mla_model::program::{ScriptOp::*, ScriptProgram, System};
+        let sys = System::new(
+            vec![
+                Box::new(ScriptProgram::new(vec![Add(e(0), -10), Add(e(1), 10)])),
+                Box::new(ScriptProgram::new(vec![Add(e(0), -5)])),
+            ],
+            [(e(0), 100)],
+        );
+        let mut s = Store::new([(e(0), 100)]);
+        // Interleave: t0 w, t1 w, t0 d.
+        s.perform(t(0), 0, e(0), |v| v - 10);
+        s.perform(t(1), 0, e(0), |v| v - 5);
+        s.perform(t(0), 1, e(1), |v| v + 10);
+        let exec = s.execution();
+        sys.validate(&exec)
+            .expect("journal replays as a valid execution");
+        assert_eq!(s.value(e(0)), 85);
+    }
+
+    #[test]
+    fn execution_after_abort_and_retry() {
+        let mut s = Store::new([]);
+        // t0 runs two steps, aborts, reruns.
+        let a0 = s.perform(t(0), 0, e(0), |_| 1);
+        let a1 = s.perform(t(0), 1, e(1), |_| 2);
+        s.undo(&[a1, a0]).unwrap();
+        s.perform(t(0), 0, e(0), |_| 7);
+        s.perform(t(0), 1, e(1), |_| 8);
+        let exec = s.execution();
+        assert_eq!(exec.len(), 2);
+        assert_eq!(exec.steps()[0].wrote, 7);
+    }
+
+    #[test]
+    fn total_sums_entities() {
+        let mut s = Store::new([(e(0), 5), (e(1), 7)]);
+        s.perform(t(0), 0, e(1), |v| v + 3);
+        assert_eq!(s.total([e(0), e(1), e(2)]), 15);
+    }
+
+    #[test]
+    fn pure_read_undoes_from_anywhere() {
+        let mut s = Store::new([(e(0), 10)]);
+        let read = s.perform(t(0), 0, e(0), |v| v); // pure read
+        let write = s.perform(t(1), 0, e(0), |v| v + 5); // later write
+                                                         // The read is not the latest access, but being value-neutral it
+                                                         // can still be undone without touching the value.
+        s.undo(&[read]).unwrap();
+        assert_eq!(s.value(e(0)), 15);
+        assert_eq!(s.journal().len(), 1);
+        assert_eq!(s.journal()[0].id, write.id);
+    }
+
+    #[test]
+    fn write_undo_still_requires_latest() {
+        let mut s = Store::new([]);
+        let w0 = s.perform(t(0), 0, e(0), |_| 1);
+        let _r1 = s.perform(t(1), 0, e(0), |v| v); // read of the dirty value
+        let _w2 = s.perform(t(2), 0, e(0), |_| 2);
+        // w0 cannot be undone while w2's value stands.
+        assert!(matches!(
+            s.undo(&[w0]).unwrap_err(),
+            UndoError::NotLatest { .. }
+        ));
+    }
+
+    #[test]
+    fn write_undo_succeeds_past_interleaved_reads() {
+        let mut s = Store::new([(e(0), 7)]);
+        let w = s.perform(t(0), 0, e(0), |v| v + 3);
+        let r = s.perform(t(1), 0, e(0), |v| v); // observed the dirty 10
+                                                 // Cascade order: the read first (it observed w's value), then w.
+        s.undo(&[r, w]).unwrap();
+        assert_eq!(s.value(e(0)), 7);
+        assert!(s.journal().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn interior_undo_breaks_reconstruction() {
+        let mut s = Store::new([]);
+        let a0 = s.perform(t(0), 0, e(0), |_| 1);
+        let _a1 = s.perform(t(0), 1, e(1), |_| 2);
+        // Undo only the first step of t0 (an interior undo the schedulers
+        // never do): the journal then starts t0 at seq 1.
+        s.undo(&[a0]).unwrap();
+        let _ = s.execution();
+    }
+}

@@ -1,0 +1,498 @@
+//! Runtime transactions: programs paired with *online* breakpoint
+//! structure, ready to be driven by a §6 concurrency control.
+//!
+//! The offline theory (`mla-core`) describes breakpoints per completed
+//! execution. A scheduler needs them *online*: after each performed step
+//! it must know, immediately, at which levels the transaction now sits at
+//! a breakpoint. §6 makes this well-defined via the **compatibility
+//! condition**: if two executions of a transaction share a prefix, either
+//! both have a breakpoint right after that prefix or neither does. The
+//! [`RuntimeBreakpoints`] trait enforces compatibility *by construction* —
+//! its only input is the performed prefix.
+//!
+//! Because each level's breakpoint set refines the previous level's, the
+//! breakpoint structure after a given prefix is fully described by one
+//! number: the *minimum* level at which a breakpoint occurs there (it then
+//! occurs at every deeper level too). [`RuntimeBreakpoints::min_level_after`]
+//! returns exactly that.
+//!
+//! [`TxnInstance`] is the runtime object schedulers drive: program state,
+//! performed steps, breakpoint queries, and reset-for-retry after an
+//! abort. [`RuntimeSpec`] adapts a set of runtime breakpoint definitions
+//! back into an offline [`BreakpointSpecification`], which is how every
+//! simulation's final history is re-checked against Theorem 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mla_core::breakpoints::BreakpointDescription;
+use mla_core::spec::BreakpointSpecification;
+use mla_model::{EntityId, LocalState, Program, Step, TxnId, Value};
+
+/// Online breakpoint structure for one transaction. Implementations see
+/// only the performed prefix, so the §6 compatibility condition holds by
+/// construction.
+pub trait RuntimeBreakpoints: Send + Sync {
+    /// The nest depth `k`.
+    fn k(&self) -> usize;
+
+    /// The minimum level (in `2 ..= k-1`) at which a breakpoint follows
+    /// the given performed prefix, or `None` if no mid-level breakpoint
+    /// occurs there. (Level `k` trivially has breakpoints everywhere and
+    /// level 1 nowhere; neither is reported.)
+    fn min_level_after(&self, prefix: &[Step]) -> Option<usize>;
+
+    /// Builds the offline description of a completed run.
+    fn to_description(&self, steps: &[Step]) -> BreakpointDescription {
+        let k = self.k();
+        let n = steps.len();
+        let mut mid: Vec<Vec<usize>> = vec![Vec::new(); k.saturating_sub(2)];
+        for p in 1..n {
+            if let Some(level) = self.min_level_after(&steps[..p]) {
+                debug_assert!((2..k).contains(&level), "mid level out of range");
+                for (j, level_bounds) in mid.iter_mut().enumerate() {
+                    if j + 2 >= level {
+                        level_bounds.push(p);
+                    }
+                }
+            }
+        }
+        BreakpointDescription::from_mid_levels(k, n, &mid)
+            .expect("prefix-derived breakpoints are well-formed and refining")
+    }
+}
+
+/// No mid-level breakpoints: the transaction is atomic with respect to
+/// everything but itself.
+#[derive(Clone, Copy, Debug)]
+pub struct NoBreakpoints {
+    /// Nest depth.
+    pub k: usize,
+}
+
+impl RuntimeBreakpoints for NoBreakpoints {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn min_level_after(&self, _prefix: &[Step]) -> Option<usize> {
+        None
+    }
+}
+
+/// A breakpoint at `level` (and deeper) after every step.
+#[derive(Clone, Copy, Debug)]
+pub struct EveryStep {
+    /// Nest depth.
+    pub k: usize,
+    /// The minimum level broken after each step (`2 ..= k-1`).
+    pub level: usize,
+}
+
+impl RuntimeBreakpoints for EveryStep {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn min_level_after(&self, _prefix: &[Step]) -> Option<usize> {
+        Some(self.level)
+    }
+}
+
+/// Breakpoints at fixed step positions: `boundaries[p] = level` places a
+/// breakpoint of that minimum level after the `p`-th performed step
+/// (1-based position = prefix length).
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTable {
+    /// Nest depth.
+    pub k: usize,
+    /// Position (prefix length) -> minimum broken level.
+    pub boundaries: HashMap<usize, usize>,
+}
+
+impl PhaseTable {
+    /// Builds a phase table.
+    pub fn new(k: usize, boundaries: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let boundaries: HashMap<usize, usize> = boundaries.into_iter().collect();
+        assert!(
+            boundaries.values().all(|&l| (2..k).contains(&l)),
+            "phase levels must lie in 2..k"
+        );
+        PhaseTable { k, boundaries }
+    }
+}
+
+impl RuntimeBreakpoints for PhaseTable {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn min_level_after(&self, prefix: &[Step]) -> Option<usize> {
+        self.boundaries.get(&prefix.len()).copied()
+    }
+}
+
+/// A running transaction: program, local state, performed steps, and
+/// breakpoint structure. Schedulers drive it step by step and reset it on
+/// abort.
+///
+/// ```
+/// use std::sync::Arc;
+/// use mla_model::program::{ScriptOp, ScriptProgram};
+/// use mla_model::{EntityId, TxnId};
+/// use mla_txn::{PhaseTable, TxnInstance};
+///
+/// let program = Arc::new(ScriptProgram::new(vec![
+///     ScriptOp::Add(EntityId(0), -5),
+///     ScriptOp::Add(EntityId(1), 5),
+/// ]));
+/// let breakpoints = Arc::new(PhaseTable::new(3, [(1, 2)]));
+/// let mut txn = TxnInstance::new(TxnId(0), program, breakpoints);
+///
+/// assert_eq!(txn.next_entity(), Some(EntityId(0)));
+/// let step = txn.perform(100); // observe 100 at entity 0
+/// assert_eq!(step.wrote, 95);
+/// assert!(txn.at_breakpoint(2), "phase boundary after step 1");
+/// ```
+pub struct TxnInstance {
+    id: TxnId,
+    program: Arc<dyn Program + Send + Sync>,
+    breakpoints: Arc<dyn RuntimeBreakpoints>,
+    state: LocalState,
+    steps: Vec<Step>,
+    attempts: u32,
+}
+
+impl TxnInstance {
+    /// Creates a fresh instance at its program's start state.
+    pub fn new(
+        id: TxnId,
+        program: Arc<dyn Program + Send + Sync>,
+        breakpoints: Arc<dyn RuntimeBreakpoints>,
+    ) -> Self {
+        let state = program.start();
+        TxnInstance {
+            id,
+            program,
+            breakpoints,
+            state,
+            steps: Vec::new(),
+            attempts: 1,
+        }
+    }
+
+    /// The transaction id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The entity the next step will access, or `None` when finished.
+    pub fn next_entity(&self) -> Option<EntityId> {
+        self.program.next_entity(&self.state)
+    }
+
+    /// Whether the program has reached a final state.
+    pub fn is_finished(&self) -> bool {
+        self.next_entity().is_none()
+    }
+
+    /// Number of steps performed in the current attempt.
+    pub fn seq(&self) -> u32 {
+        self.steps.len() as u32
+    }
+
+    /// Steps performed in the current attempt.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// How many attempts (1 + aborts) this instance has made.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// The instance's breakpoint structure.
+    pub fn breakpoints(&self) -> &Arc<dyn RuntimeBreakpoints> {
+        &self.breakpoints
+    }
+
+    /// Performs the next step, observing `observed` at the entity returned
+    /// by [`TxnInstance::next_entity`]. Returns the completed [`Step`].
+    ///
+    /// # Panics
+    /// Panics if the transaction is finished.
+    pub fn perform(&mut self, observed: Value) -> Step {
+        let entity = self
+            .next_entity()
+            .expect("perform called on a finished transaction");
+        let (next_state, wrote) = self.program.apply(&self.state, observed);
+        let step = Step {
+            txn: self.id,
+            seq: self.seq(),
+            entity,
+            observed,
+            wrote,
+        };
+        self.state = next_state;
+        self.steps.push(step);
+        step
+    }
+
+    /// Whether the transaction currently sits at a breakpoint of the given
+    /// level (1-based, `1 ..= k-1`): true before its first step, after its
+    /// last, and wherever the breakpoint structure says so.
+    ///
+    /// This is exactly the §6 scheduling predicate: "a level(t, t')
+    /// breakpoint immediately follows `α` in `t`'s execution subsequence".
+    pub fn at_breakpoint(&self, level: usize) -> bool {
+        if self.steps.is_empty() || self.is_finished() {
+            return true;
+        }
+        self.breakpoints
+            .min_level_after(&self.steps)
+            .is_some_and(|l| l <= level)
+    }
+
+    /// Abandons the current attempt: back to the start state with no
+    /// performed steps (the store undo is the caller's job).
+    pub fn reset(&mut self) {
+        self.state = self.program.start();
+        self.steps.clear();
+        self.attempts += 1;
+    }
+
+    /// The offline breakpoint description of the performed steps.
+    pub fn description(&self) -> BreakpointDescription {
+        self.breakpoints.to_description(&self.steps)
+    }
+}
+
+/// Adapts per-transaction runtime breakpoints into an offline
+/// [`BreakpointSpecification`] for post-hoc Theorem 2 checking. Unmapped
+/// transactions default to atomic (no mid-level breakpoints).
+#[derive(Clone, Default)]
+pub struct RuntimeSpec {
+    k: usize,
+    map: HashMap<TxnId, Arc<dyn RuntimeBreakpoints>>,
+}
+
+impl RuntimeSpec {
+    /// Creates an empty spec of depth `k`.
+    pub fn new(k: usize) -> Self {
+        RuntimeSpec {
+            k,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Registers a transaction's breakpoints.
+    pub fn insert(&mut self, t: TxnId, bp: Arc<dyn RuntimeBreakpoints>) {
+        assert_eq!(bp.k(), self.k, "breakpoint depth must match spec depth");
+        self.map.insert(t, bp);
+    }
+
+    /// Builder-style [`RuntimeSpec::insert`].
+    pub fn with(mut self, t: TxnId, bp: Arc<dyn RuntimeBreakpoints>) -> Self {
+        self.insert(t, bp);
+        self
+    }
+}
+
+impl BreakpointSpecification for RuntimeSpec {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn describe(&self, t: TxnId, steps: &[Step]) -> BreakpointDescription {
+        match self.map.get(&t) {
+            Some(bp) => bp.to_description(steps),
+            None => BreakpointDescription::atomic(self.k, steps.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_model::program::{ScriptOp::*, ScriptProgram};
+
+    fn e(x: u32) -> EntityId {
+        EntityId(x)
+    }
+
+    fn transfer_program() -> Arc<dyn Program + Send + Sync> {
+        // w w | d d with the phase boundary after step 2.
+        Arc::new(ScriptProgram::new(vec![
+            Add(e(0), -10),
+            Add(e(1), -5),
+            Add(e(2), 10),
+            Add(e(3), 5),
+        ]))
+    }
+
+    fn transfer_breakpoints() -> Arc<dyn RuntimeBreakpoints> {
+        Arc::new(PhaseTable::new(4, [(2, 2), (1, 3), (3, 3)]))
+    }
+
+    #[test]
+    fn instance_lifecycle() {
+        let mut txn = TxnInstance::new(TxnId(0), transfer_program(), transfer_breakpoints());
+        assert!(!txn.is_finished());
+        assert_eq!(txn.next_entity(), Some(e(0)));
+        assert!(txn.at_breakpoint(1), "not yet started: interruptible");
+
+        let s0 = txn.perform(100);
+        assert_eq!(s0.wrote, 90);
+        assert_eq!(s0.seq, 0);
+        // After 1 step: PhaseTable says min level 3.
+        assert!(!txn.at_breakpoint(1));
+        assert!(!txn.at_breakpoint(2));
+        assert!(txn.at_breakpoint(3));
+
+        let _s1 = txn.perform(50);
+        // After 2 steps: phase boundary, level 2.
+        assert!(txn.at_breakpoint(2));
+        assert!(!txn.at_breakpoint(1));
+
+        txn.perform(0);
+        txn.perform(0);
+        assert!(txn.is_finished());
+        assert!(txn.at_breakpoint(1), "finished: interruptible at any level");
+        assert_eq!(txn.seq(), 4);
+    }
+
+    #[test]
+    fn reset_restores_start() {
+        let mut txn = TxnInstance::new(TxnId(0), transfer_program(), transfer_breakpoints());
+        txn.perform(100);
+        txn.perform(50);
+        assert_eq!(txn.attempts(), 1);
+        txn.reset();
+        assert_eq!(txn.seq(), 0);
+        assert_eq!(txn.attempts(), 2);
+        assert_eq!(txn.next_entity(), Some(e(0)));
+        let s = txn.perform(100);
+        assert_eq!(s.seq, 0);
+    }
+
+    #[test]
+    fn description_matches_runtime_breakpoints() {
+        let mut txn = TxnInstance::new(TxnId(0), transfer_program(), transfer_breakpoints());
+        for v in [100, 50, 0, 0] {
+            txn.perform(v);
+        }
+        let bd = txn.description();
+        assert_eq!(bd.k(), 4);
+        assert_eq!(bd.step_count(), 4);
+        // Level 2: only position 2 (the phase boundary).
+        assert_eq!(bd.boundaries(2), vec![2]);
+        // Level 3: positions 1, 2, 3.
+        assert_eq!(bd.boundaries(3), vec![1, 2, 3]);
+        assert_eq!(bd.segments(2), vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn no_breakpoints_is_atomic() {
+        let bp = NoBreakpoints { k: 3 };
+        let steps: Vec<Step> = (0..3)
+            .map(|i| Step {
+                txn: TxnId(0),
+                seq: i,
+                entity: e(i),
+                observed: 0,
+                wrote: 0,
+            })
+            .collect();
+        assert_eq!(
+            bp.to_description(&steps),
+            BreakpointDescription::atomic(3, 3)
+        );
+        assert_eq!(bp.min_level_after(&steps[..1]), None);
+    }
+
+    #[test]
+    fn every_step_is_free_at_its_level() {
+        let bp = EveryStep { k: 4, level: 3 };
+        let steps: Vec<Step> = (0..3)
+            .map(|i| Step {
+                txn: TxnId(0),
+                seq: i,
+                entity: e(i),
+                observed: 0,
+                wrote: 0,
+            })
+            .collect();
+        let bd = bp.to_description(&steps);
+        assert_eq!(bd.boundaries(2), Vec::<usize>::new());
+        assert_eq!(bd.boundaries(3), vec![1, 2]);
+    }
+
+    #[test]
+    fn compatibility_by_construction() {
+        // Two runs sharing a prefix agree on the breakpoint after it —
+        // trivially, because min_level_after sees only the prefix.
+        let bp = transfer_breakpoints();
+        let mk = |n: usize, salt: i64| -> Vec<Step> {
+            (0..n)
+                .map(|i| Step {
+                    txn: TxnId(0),
+                    seq: i as u32,
+                    entity: e(i as u32),
+                    observed: salt,
+                    wrote: salt + 1,
+                })
+                .collect()
+        };
+        let run_a = mk(4, 0);
+        let run_b = mk(4, 99);
+        for p in 1..4 {
+            assert_eq!(
+                bp.min_level_after(&run_a[..p]),
+                bp.min_level_after(&run_a[..p]),
+            );
+            // Same prefix length, different observations: PhaseTable is
+            // position-based so they agree (value-dependent impls would
+            // only agree when the actual prefixes coincide).
+            assert_eq!(
+                bp.min_level_after(&run_a[..p]),
+                bp.min_level_after(&run_b[..p]),
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_spec_adapts_for_offline_checking() {
+        use mla_core::nest::Nest;
+        use mla_core::spec::ExecContext;
+        let mut t0 = TxnInstance::new(TxnId(0), transfer_program(), transfer_breakpoints());
+        for v in [100, 50, 0, 0] {
+            t0.perform(v);
+        }
+        let exec = mla_model::Execution::new(t0.steps().to_vec()).unwrap();
+        let spec = RuntimeSpec::new(4).with(TxnId(0), transfer_breakpoints());
+        let nest = Nest::new(4, vec![vec![0, 0]]).unwrap();
+        let ctx = ExecContext::new(&exec, &nest, &spec).unwrap();
+        assert_eq!(ctx.bd(0).boundaries(2), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase levels must lie in 2..k")]
+    fn phase_table_rejects_bad_level() {
+        PhaseTable::new(3, [(1, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finished")]
+    fn perform_after_finish_panics() {
+        let mut txn = TxnInstance::new(
+            TxnId(0),
+            Arc::new(ScriptProgram::new(vec![Read(e(0))])),
+            Arc::new(NoBreakpoints { k: 2 }),
+        );
+        txn.perform(0);
+        txn.perform(0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Fully synthetic workloads: the sweep axes of E1–E3, E5, and E8.
+//!
+//! Everything is a parameter: nest depth and per-level fanout,
+//! transaction count and length, entity-pool size and Zipf skew, and —
+//! the crossover axis of E8 — per-level breakpoint *densities*. Density
+//! 0 everywhere degenerates to serializability; density 1 at level 2
+//! degenerates to unconstrained interleaving within the root class.
+
+use std::sync::Arc;
+
+use mla_core::nest::Nest;
+use mla_model::program::{ScriptOp, ScriptProgram};
+use mla_model::{EntityId, Program, Step};
+use mla_txn::RuntimeBreakpoints;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::util::{hash01, Zipf};
+use crate::Workload;
+
+/// Parameters of the synthetic workload.
+#[derive(Clone, Debug)]
+pub struct SyntheticConfig {
+    /// Number of transactions.
+    pub txns: usize,
+    /// Nest depth (>= 2).
+    pub k: usize,
+    /// Class fanout at each mid level (length `k - 2`): how many classes
+    /// each level-`i` class splits into at level `i + 1`.
+    pub fanout: Vec<usize>,
+    /// Steps per transaction: uniform in `len_min ..= len_max`.
+    pub len_min: usize,
+    /// See `len_min`.
+    pub len_max: usize,
+    /// Entity pool size.
+    pub entities: usize,
+    /// Zipf skew of entity selection (0 = uniform).
+    pub zipf_theta: f64,
+    /// Breakpoint density per mid level (length `k - 2`): probability
+    /// that a given position carries a breakpoint of that level.
+    /// Densities are cumulative-monotone: the effective density at level
+    /// `i` is the max over levels `2 ..= i` (deeper levels break at least
+    /// as often, as refinement requires).
+    pub densities: Vec<f64>,
+    /// Ticks between injections.
+    pub arrival_spacing: u64,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            txns: 16,
+            k: 3,
+            fanout: vec![2],
+            len_min: 3,
+            len_max: 6,
+            entities: 16,
+            zipf_theta: 0.5,
+            densities: vec![0.5],
+            arrival_spacing: 3,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Density-controlled breakpoints: position `p` of transaction `salt`
+/// carries a breakpoint of minimum level `l` iff `hash(salt, p)` falls
+/// under level `l`'s effective density but not under any shallower
+/// level's. One hash draw per position keeps the levels nested.
+#[derive(Clone, Debug)]
+pub struct DensityBreakpoints {
+    /// Nest depth.
+    pub k: usize,
+    /// Effective (monotone nondecreasing) densities for levels `2..k`.
+    pub densities: Vec<f64>,
+    /// Per-transaction hash salt.
+    pub salt: u64,
+}
+
+impl DensityBreakpoints {
+    /// Builds the structure, making densities monotone nondecreasing.
+    pub fn new(k: usize, raw: &[f64], salt: u64) -> Self {
+        assert_eq!(raw.len(), k.saturating_sub(2), "one density per mid level");
+        let mut densities = Vec::with_capacity(raw.len());
+        let mut running: f64 = 0.0;
+        for &d in raw {
+            running = running.max(d.clamp(0.0, 1.0));
+            densities.push(running);
+        }
+        DensityBreakpoints { k, densities, salt }
+    }
+}
+
+impl RuntimeBreakpoints for DensityBreakpoints {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn min_level_after(&self, prefix: &[Step]) -> Option<usize> {
+        if prefix.is_empty() {
+            return None;
+        }
+        let h = hash01(self.salt, prefix.len() as u64);
+        self.densities
+            .iter()
+            .position(|&d| h < d)
+            .map(|idx| idx + 2)
+    }
+}
+
+/// The generated synthetic workload.
+pub struct Synthetic {
+    /// The runnable workload.
+    pub workload: Workload,
+    /// The generating configuration.
+    pub config: SyntheticConfig,
+}
+
+/// Generates a synthetic workload.
+pub fn generate(config: SyntheticConfig) -> Synthetic {
+    assert!(config.k >= 2, "k >= 2");
+    assert_eq!(config.fanout.len(), config.k - 2, "fanout per mid level");
+    assert_eq!(
+        config.densities.len(),
+        config.k - 2,
+        "density per mid level"
+    );
+    assert!(config.len_min >= 1 && config.len_min <= config.len_max);
+    assert!(config.entities > 0);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let zipf = Zipf::new(config.entities, config.zipf_theta);
+
+    let mut programs: Vec<Arc<dyn Program + Send + Sync>> = Vec::new();
+    let mut breakpoints: Vec<Arc<dyn RuntimeBreakpoints>> = Vec::new();
+    let mut paths: Vec<Vec<u32>> = Vec::new();
+
+    for i in 0..config.txns {
+        let len = rng.gen_range(config.len_min..=config.len_max);
+        let ops: Vec<ScriptOp> = (0..len)
+            .map(|_| ScriptOp::Add(EntityId(zipf.sample(&mut rng) as u32), 1))
+            .collect();
+        programs.push(Arc::new(ScriptProgram::new(ops)));
+        breakpoints.push(Arc::new(DensityBreakpoints::new(
+            config.k,
+            &config.densities,
+            config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )));
+        paths.push(
+            config
+                .fanout
+                .iter()
+                .map(|&f| rng.gen_range(0..f.max(1)) as u32)
+                .collect(),
+        );
+    }
+
+    let nest = Nest::new(config.k, paths).expect("paths sized to k-2");
+    let arrivals: Vec<u64> = (0..config.txns as u64)
+        .map(|i| i * config.arrival_spacing)
+        .collect();
+
+    Synthetic {
+        workload: Workload {
+            name: format!(
+                "synthetic(n={},k={},d={:?})",
+                config.txns, config.k, config.densities
+            ),
+            nest,
+            programs,
+            breakpoints,
+            initial: Vec::new(),
+            arrivals,
+        },
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_model::TxnId;
+
+    fn dummy_steps(n: usize) -> Vec<Step> {
+        (0..n)
+            .map(|i| Step {
+                txn: TxnId(0),
+                seq: i as u32,
+                entity: EntityId(0),
+                observed: 0,
+                wrote: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn density_zero_means_atomic() {
+        let bp = DensityBreakpoints::new(4, &[0.0, 0.0], 9);
+        let steps = dummy_steps(10);
+        for p in 1..10 {
+            assert_eq!(bp.min_level_after(&steps[..p]), None);
+        }
+    }
+
+    #[test]
+    fn density_one_breaks_everywhere() {
+        let bp = DensityBreakpoints::new(4, &[1.0, 1.0], 9);
+        let steps = dummy_steps(10);
+        for p in 1..10 {
+            assert_eq!(bp.min_level_after(&steps[..p]), Some(2));
+        }
+    }
+
+    #[test]
+    fn densities_made_monotone() {
+        // Raw densities decrease; effective must not.
+        let bp = DensityBreakpoints::new(5, &[0.8, 0.2, 0.5], 1);
+        assert_eq!(bp.densities, vec![0.8, 0.8, 0.8]);
+    }
+
+    #[test]
+    fn mid_density_hits_roughly_the_right_rate() {
+        let bp = DensityBreakpoints::new(3, &[0.3], 777);
+        let steps = dummy_steps(10_000);
+        let mut hits = 0;
+        for p in 1..10_000 {
+            if bp.min_level_after(&steps[..p]).is_some() {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / 9999.0;
+        assert!(
+            (0.25..0.35).contains(&rate),
+            "density 0.3 should land near 0.3, got {rate}"
+        );
+    }
+
+    #[test]
+    fn breakpoints_are_prefix_deterministic() {
+        let bp = DensityBreakpoints::new(3, &[0.5], 42);
+        let steps = dummy_steps(6);
+        let a = bp.min_level_after(&steps[..3]);
+        let b = bp.min_level_after(&steps[..3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generation_shape_and_determinism() {
+        let cfg = SyntheticConfig {
+            txns: 10,
+            k: 4,
+            fanout: vec![3, 2],
+            densities: vec![0.2, 0.7],
+            ..SyntheticConfig::default()
+        };
+        let a = generate(cfg.clone());
+        let b = generate(cfg);
+        assert_eq!(a.workload.nest, b.workload.nest);
+        assert_eq!(a.workload.txn_count(), 10);
+        assert_eq!(a.workload.nest.k(), 4);
+        // Lengths within bounds.
+        let sys = a.workload.system();
+        let exec = sys
+            .run_serial(&(0..10u32).map(TxnId).collect::<Vec<_>>())
+            .unwrap();
+        for t in 0..10u32 {
+            let len = exec.txn_steps(TxnId(t)).len();
+            assert!((a.config.len_min..=a.config.len_max).contains(&len));
+        }
+    }
+
+    #[test]
+    fn k2_needs_no_mid_config() {
+        let s = generate(SyntheticConfig {
+            k: 2,
+            fanout: vec![],
+            densities: vec![],
+            ..SyntheticConfig::default()
+        });
+        assert_eq!(s.workload.nest.k(), 2);
+        let spec = s.workload.spec();
+        let _ = spec;
+    }
+}

@@ -1,0 +1,123 @@
+//! Generation utilities: Zipf sampling and deterministic position
+//! hashing.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `0..n` via a precomputed CDF. θ = 0 is uniform;
+/// larger θ concentrates probability on small indices (hot entities).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or θ is negative/non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!(theta >= 0.0 && theta.is_finite(), "theta must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws an index.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// A deterministic hash of `(salt, x)` mapped to `[0, 1)`. Used to place
+/// density-controlled breakpoints reproducibly (independent of any RNG
+/// stream consumed elsewhere).
+pub fn hash01(salt: u64, x: u64) -> f64 {
+    // SplitMix64 finalizer.
+    let mut z = salt
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(x.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_uniform_at_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+        assert!(
+            (max as f64) / (min as f64) < 1.3,
+            "theta=0 should be near-uniform: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn zipf_skews_with_theta() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut head = 0usize;
+        let total = 20_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        assert!(
+            head as f64 / total as f64 > 0.6,
+            "theta=1.2 should send most mass to the head ({head}/{total})"
+        );
+    }
+
+    #[test]
+    fn zipf_stays_in_range() {
+        let z = Zipf::new(3, 0.9);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn hash01_deterministic_and_spread() {
+        assert_eq!(hash01(7, 9), hash01(7, 9));
+        assert_ne!(hash01(7, 9), hash01(7, 10));
+        assert_ne!(hash01(7, 9), hash01(8, 9));
+        let mut below = 0;
+        for x in 0..10_000 {
+            let h = hash01(42, x);
+            assert!((0.0..1.0).contains(&h));
+            if h < 0.5 {
+                below += 1;
+            }
+        }
+        assert!((4000..6000).contains(&below), "roughly balanced: {below}");
+    }
+}

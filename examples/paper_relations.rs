@@ -1,0 +1,87 @@
+//! The paper's §4.2 worked examples, verbatim: the relations R1, R2, R3
+//! over three four-step transactions with `π(2)` classes {t1, t2} | {t3}
+//! and a level-2 breakpoint after each transaction's second step.
+//!
+//! * R1's coherent closure is a coherent partial order (with a small
+//!   fidelity note — see `mla-core::relations` — its generator set is not
+//!   literally closed under condition (b));
+//! * R2 is non-coherent, and closing it yields exactly R1's closure;
+//! * R3 (one pair reversed) closes to a cycle — not extendable to any
+//!   coherent total order.
+//!
+//! Run with: `cargo run --example paper_relations`
+
+use multilevel_atomicity::core::breakpoints::BreakpointDescription;
+use multilevel_atomicity::core::nest::Nest;
+use multilevel_atomicity::core::relations::{Elem, RelationContext};
+
+/// The paper's 1-based `a_{i j}` notation.
+fn a(i: usize, j: usize) -> Elem {
+    (i - 1, j - 1)
+}
+
+fn main() {
+    let nest = Nest::new(3, vec![vec![0], vec![0], vec![1]]).unwrap();
+    let bd = BreakpointDescription::from_mid_levels(3, 4, &[vec![2]]).unwrap();
+    let ctx = RelationContext::new(nest, vec![bd.clone(), bd.clone(), bd]);
+
+    let r1 = vec![
+        (a(1, 2), a(2, 2)),
+        (a(2, 2), a(1, 3)),
+        (a(1, 4), a(3, 1)),
+        (a(2, 4), a(3, 3)),
+    ];
+    println!("R1 = <t_i orders> + {{(a12,a22), (a22,a13), (a14,a31), (a24,a33)}}");
+    println!(
+        "  literally coherent?                 {:?}",
+        ctx.is_coherent(&r1, true).err().map(|v| v.to_string())
+    );
+    println!(
+        "  extendable to coherent total order? {}",
+        ctx.extendable_to_coherent_partial_order(&r1)
+    );
+
+    let r2 = vec![
+        (a(1, 1), a(2, 2)),
+        (a(2, 1), a(1, 3)),
+        (a(1, 1), a(3, 1)),
+        (a(2, 1), a(3, 3)),
+    ];
+    println!("\nR2 = sources pulled back to their segment starts");
+    println!(
+        "  literally coherent?                 {}",
+        ctx.is_coherent(&r2, true).is_ok()
+    );
+    let closure_r1 = ctx.coherent_closure(&r1);
+    let closure_r2 = ctx.coherent_closure(&r2);
+    println!(
+        "  closure(R2) == closure(R1)?         {}",
+        closure_r1 == closure_r2
+    );
+
+    let r3 = vec![
+        (a(1, 1), a(2, 2)),
+        (a(2, 1), a(1, 3)),
+        (a(3, 1), a(1, 1)), // (a31, a11): the reversed pair
+        (a(2, 1), a(3, 3)),
+    ];
+    println!("\nR3 = R2 with (a31, a11) in place of (a11, a31)");
+    let closure_r3 = ctx.coherent_closure(&r3);
+    println!(
+        "  closure is a partial order?         {}",
+        ctx.is_partial_order(&closure_r3)
+    );
+    println!("  the paper's derivation:");
+    println!(
+        "    (a31,a11) lifts to (a32,a11): {}",
+        ctx.pair_in(&closure_r3, a(3, 2), a(1, 1))
+    );
+    println!(
+        "    (a21,a33) lifts to (a22,a33): {}",
+        ctx.pair_in(&closure_r3, a(2, 2), a(3, 3))
+    );
+    println!(
+        "    cycle a11 -> a22 -> a33 -> a11 closed: {}",
+        ctx.pair_in(&closure_r3, a(1, 1), a(1, 1))
+    );
+}

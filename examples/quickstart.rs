@@ -1,0 +1,140 @@
+//! Quickstart: the paper's banking example, end to end, offline.
+//!
+//! Builds the §4.2/§4.3 setting — transfers with a withdraw/deposit
+//! breakpoint, an atomic audit, a 4-nest — then:
+//!
+//! 1. checks executions for multilevel atomicity (membership in C(π, 𝔅));
+//! 2. decides *correctability* with Theorem 2;
+//! 3. extracts the constructive witness (Lemma 1) for a correctable but
+//!    non-atomic interleaving;
+//! 4. shows the witness's nested action tree (§7).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use multilevel_atomicity::core::action_tree::build_action_tree;
+use multilevel_atomicity::core::breakpoints::BreakpointDescription;
+use multilevel_atomicity::core::nest::Nest;
+use multilevel_atomicity::core::spec::{ExecContext, FixedSpec};
+use multilevel_atomicity::core::theorem::{decide, Correctability};
+use multilevel_atomicity::core::{check_multilevel_atomic, is_multilevel_atomic};
+use multilevel_atomicity::model::{EntityId, Execution, Step, TxnId};
+
+fn step(txn: u32, seq: u32, entity: u32) -> Step {
+    Step {
+        txn: TxnId(txn),
+        seq,
+        entity: EntityId(entity),
+        observed: 0,
+        wrote: 0,
+    }
+}
+
+fn main() {
+    // Two transfers (t0, t1) from different families and one bank audit
+    // (t2). Transfers: w w | d d with a level-2 breakpoint at the phase
+    // boundary and level-3 breakpoints everywhere. The audit is atomic.
+    let nest = Nest::new(4, vec![vec![0, 0], vec![0, 1], vec![1, 2]]).unwrap();
+    // A transfer's description over an n-step (possibly truncated) run:
+    // level-2 breakpoint at the phase boundary (after 2 withdrawals, if
+    // reached), level-3 breakpoints everywhere.
+    let transfer_bd = |n: usize| {
+        let l2 = if n > 2 { vec![2] } else { Vec::new() };
+        BreakpointDescription::from_mid_levels(4, n, &[l2, (1..n).collect()]).unwrap()
+    };
+    let spec_for = |t0: usize, t1: usize, audit: usize| {
+        FixedSpec::new(4)
+            .set(TxnId(0), transfer_bd(t0))
+            .set(TxnId(1), transfer_bd(t1))
+            .set(TxnId(2), BreakpointDescription::atomic(4, audit))
+    };
+    let spec = spec_for(4, 4, 2);
+
+    // Transfers use disjoint accounts; the audit reads one account of
+    // each transfer (entities 1 and 11).
+    println!("== 1. Multilevel atomicity membership ==");
+    let atomic_weave = Execution::new(vec![
+        step(0, 0, 1),
+        step(0, 1, 2), // t0 completes its withdrawal phase
+        step(1, 0, 11),
+        step(1, 1, 12),
+        step(1, 2, 13),
+        step(1, 3, 14), // all of t1 runs at t0's phase boundary
+        step(0, 2, 3),
+        step(0, 3, 4), // t0 deposits
+        step(2, 0, 1),
+        step(2, 1, 11), // audit runs after everything
+    ])
+    .unwrap();
+    println!(
+        "  phase-boundary weave multilevel atomic? {}",
+        is_multilevel_atomic(&atomic_weave, &nest, &spec).unwrap()
+    );
+
+    let bad_weave = Execution::new(vec![
+        step(0, 0, 1),
+        step(1, 0, 11), // t1 interrupts t0 mid-withdrawals: not atomic
+        step(0, 1, 2),
+    ])
+    .unwrap();
+    let truncated_spec = spec_for(2, 1, 2);
+    let ctx = ExecContext::new(&bad_weave, &nest, &truncated_spec).unwrap();
+    match check_multilevel_atomic(&ctx) {
+        Ok(()) => println!("  mid-phase interruption accepted (unexpected!)"),
+        Err(v) => println!("  mid-phase interruption rejected: {v}"),
+    }
+
+    println!("\n== 2. Correctability (Theorem 2) ==");
+    // The bad weave is still *correctable*: entities are disjoint, so an
+    // equivalent reordering is multilevel atomic.
+    match decide(&bad_weave, &nest, &truncated_spec).unwrap() {
+        Correctability::Correctable { witness } => {
+            println!("  correctable; witness: {witness}");
+            assert!(is_multilevel_atomic(&witness, &nest, &truncated_spec).unwrap());
+        }
+        Correctability::NotCorrectable { cycle } => println!("  NOT correctable: {cycle}"),
+    }
+
+    // An audit wedged between conflicting accesses is NOT correctable:
+    // audit reads account 1 before t0 writes it and account 11 after t1
+    // wrote it, while t0 precedes t1 through a shared account 5.
+    let wedged = Execution::new(vec![
+        step(2, 0, 1), // audit reads account 1 ...
+        step(0, 0, 1), // ... which t0 then withdraws from => audit < t0
+        step(0, 1, 5),
+        step(1, 0, 5),  // t0 < t1 (shared account)
+        step(1, 1, 11), // t1 writes account 11 ...
+        step(2, 1, 11), // ... which the audit then reads => t1 < audit
+    ])
+    .unwrap();
+    let wedged_spec = spec_for(2, 2, 2);
+    match decide(&wedged, &nest, &wedged_spec).unwrap() {
+        Correctability::Correctable { .. } => println!("  wedged audit accepted (unexpected!)"),
+        Correctability::NotCorrectable { cycle } => {
+            println!("  wedged audit rejected; cycle: {cycle}")
+        }
+    }
+
+    println!("\n== 3. Nested action tree (§7) ==");
+    let ctx = ExecContext::new(&atomic_weave, &nest, &spec).unwrap();
+    let tree = build_action_tree(&ctx).unwrap();
+    print_tree(&tree, &ctx, 1);
+}
+
+fn print_tree(
+    node: &multilevel_atomicity::core::action_tree::ActionNode,
+    ctx: &ExecContext<'_>,
+    indent: usize,
+) {
+    let txns: Vec<String> = node.txns(ctx).iter().map(|t| t.to_string()).collect();
+    println!(
+        "{:indent$}level {} steps {:?} txns [{}]",
+        "",
+        node.level,
+        node.steps,
+        txns.join(","),
+        indent = indent * 2
+    );
+    for c in &node.children {
+        print_tree(c, ctx, indent + 1);
+    }
+}
