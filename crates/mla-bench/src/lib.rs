@@ -2,7 +2,7 @@
 //!
 //! The paper (Lynch 1982) is theory-only — it has no tables or figures.
 //! DESIGN.md therefore defines an evaluation suite E1–E10 (plus ablations
-//! A1–A3) that answers the questions the paper *poses*:
+//! A1–A4) that answers the questions the paper *poses*:
 //!
 //! * how much larger than the serial set is `C(π, 𝔅)` (E1, E2, E8);
 //! * what does the Theorem 2 check cost relative to the serializability

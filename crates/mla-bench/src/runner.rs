@@ -23,6 +23,10 @@ pub enum ControlKind {
     MlaDetect(VictimPolicy),
     /// Multilevel-atomicity cycle detection without window eviction (A2).
     MlaDetectNoEvict(VictimPolicy),
+    /// Multilevel-atomicity cycle detection with a forced full closure
+    /// rebuild before every decision (A4: the pre-incremental cost
+    /// model, same decisions).
+    MlaDetectFullRebuild(VictimPolicy),
     /// Multilevel-atomicity cycle prevention.
     MlaPrevent(VictimPolicy),
 }
@@ -37,6 +41,7 @@ impl ControlKind {
             ControlKind::Sgt(_) => "sgt",
             ControlKind::MlaDetect(_) => "mla-detect",
             ControlKind::MlaDetectNoEvict(_) => "mla-detect/noevict",
+            ControlKind::MlaDetectFullRebuild(_) => "mla-detect/rebuild",
             ControlKind::MlaPrevent(_) => "mla-prevent",
         }
     }
@@ -137,6 +142,17 @@ pub fn run_cell(wl: &Workload, kind: ControlKind, seed: u64) -> CellResult {
             ),
             0,
         ),
+        ControlKind::MlaDetectFullRebuild(policy) => (
+            run(
+                wl.nest.clone(),
+                wl.instances(),
+                wl.initial.iter().copied(),
+                &wl.arrivals,
+                &config,
+                &mut MlaDetect::new(wl.spec(), policy).with_full_rebuild(),
+            ),
+            0,
+        ),
         ControlKind::MlaPrevent(policy) => {
             let mut c = MlaPrevent::new(wl.txn_count(), wl.spec(), policy);
             let out = run(
@@ -200,6 +216,12 @@ pub struct Aggregate {
     pub max_cascade: usize,
     /// Mean wall seconds per run.
     pub wall_seconds: f64,
+    /// Total closure rebuilds across seeds (engine-backed controls only).
+    pub closure_rebuilds: u64,
+    /// Total closure edges inserted across seeds.
+    pub closure_edges: u64,
+    /// Mean closure rows processed per decision.
+    pub rows_per_decision: f64,
     /// Seeds aggregated.
     pub runs: usize,
 }
@@ -208,20 +230,19 @@ pub struct Aggregate {
 /// per seed (cells are fully independent: every thread builds its own
 /// instances and control) — and averages.
 pub fn run_seeds(wl: &Workload, kind: ControlKind, seeds: &[u64]) -> Aggregate {
-    let cells: parking_lot::Mutex<Vec<CellResult>> =
-        parking_lot::Mutex::new(Vec::with_capacity(seeds.len()));
-    crossbeam::thread::scope(|scope| {
+    let cells: std::sync::Mutex<Vec<CellResult>> =
+        std::sync::Mutex::new(Vec::with_capacity(seeds.len()));
+    std::thread::scope(|scope| {
         for &seed in seeds {
             let cells = &cells;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let cell = run_cell(wl, kind, seed);
-                cells.lock().push(cell);
+                cells.lock().expect("seed worker poisoned").push(cell);
             });
         }
-    })
-    .expect("seed worker panicked (a safety oracle failed)");
+    });
     let mut agg = Aggregate::default();
-    for cell in cells.into_inner() {
+    for cell in cells.into_inner().expect("seed worker panicked") {
         let m = &cell.outcome.metrics;
         agg.throughput += m.throughput_per_kilotick();
         agg.latency += m.mean_latency();
@@ -231,6 +252,9 @@ pub fn run_seeds(wl: &Workload, kind: ControlKind, seeds: &[u64]) -> Aggregate {
         agg.commit_rollbacks += m.commit_rollbacks;
         agg.max_cascade = agg.max_cascade.max(m.max_cascade());
         agg.wall_seconds += cell.wall_seconds;
+        agg.closure_rebuilds += m.decision_cost.rebuilds;
+        agg.closure_edges += m.decision_cost.edges_inserted;
+        agg.rows_per_decision += m.rows_per_decision();
         agg.runs += 1;
     }
     let n = agg.runs.max(1) as f64;
@@ -238,6 +262,7 @@ pub fn run_seeds(wl: &Workload, kind: ControlKind, seeds: &[u64]) -> Aggregate {
     agg.latency /= n;
     agg.wasted /= n;
     agg.wall_seconds /= n;
+    agg.rows_per_decision /= n;
     agg
 }
 
@@ -261,6 +286,7 @@ mod tests {
             ControlKind::Sgt(VictimPolicy::FewestSteps),
             ControlKind::MlaDetect(VictimPolicy::FewestSteps),
             ControlKind::MlaDetectNoEvict(VictimPolicy::FewestSteps),
+            ControlKind::MlaDetectFullRebuild(VictimPolicy::FewestSteps),
             ControlKind::MlaPrevent(VictimPolicy::FewestSteps),
         ] {
             let cell = run_cell(&b.workload, kind, 3);

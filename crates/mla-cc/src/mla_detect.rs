@@ -4,18 +4,23 @@
 //! detected, a priority scheme can be used to determine which steps
 //! should be rolled back."
 //!
-//! Implementation: before granting a step, compute the coherent closure
-//! of the window execution extended with the candidate step. Acyclic —
-//! grant. Cyclic — roll back a victim on the witness cycle. "Presumably,
-//! fewer cycles would be detected using the multilevel atomicity
-//! definition than if strict serializability were required, leading to
-//! fewer rollbacks" — experiment E5 measures exactly this against
-//! [`crate::SgtControl`].
+//! Implementation: the control maintains one [`ClosureEngine`] for the
+//! whole run and offers it each candidate step as a *delta*. The engine
+//! extends its maintained coherent closure in place; acyclic — commit
+//! the extension and grant, cyclic — the engine rolls the extension back
+//! and hands out the witness cycle to pick a rollback victim from. The
+//! batch closure is never recomputed on the grant path (the `rebuilds`
+//! counter stays at zero in abort-free runs); full rebuilds happen only
+//! when a rollback or eviction compaction actually shrinks the history.
+//! "Presumably, fewer cycles would be detected using the multilevel
+//! atomicity definition than if strict serializability were required,
+//! leading to fewer rollbacks" — experiment E5 measures exactly this
+//! against [`crate::SgtControl`].
 
-use mla_core::closure::CoherentClosure;
-use mla_core::spec::ExecContext;
+use mla_core::{ClosureEngine, EngineCounters};
 use mla_model::TxnId;
 use mla_sim::{Control, Decision, TxnStatus, World};
+use mla_storage::StepRecord;
 use mla_txn::RuntimeSpec;
 
 use crate::victim::VictimPolicy;
@@ -24,8 +29,15 @@ use crate::window::LiveWindow;
 /// The optimistic multilevel-atomicity control.
 pub struct MlaDetect {
     spec: RuntimeSpec,
+    /// The incremental closure over the live window, created on the
+    /// first decision (the nest lives in the [`World`]).
+    engine: Option<ClosureEngine<RuntimeSpec>>,
     window: LiveWindow,
     policy: VictimPolicy,
+    /// A1 ablation: force a from-scratch closure rebuild before every
+    /// decision, charging the old per-step batch cost through the same
+    /// code path.
+    full_rebuild: bool,
     /// Closure checks performed (for the E5 cost accounting).
     pub checks: u64,
     /// Checks that found a cycle.
@@ -40,9 +52,27 @@ impl MlaDetect {
         self
     }
 
+    /// Forces a full closure rebuild before every decision (the A1
+    /// ablation): same decisions, same code path, but per-step batch
+    /// cost instead of delta cost. This is the baseline the incremental
+    /// engine is benchmarked against.
+    pub fn with_full_rebuild(mut self) -> Self {
+        self.full_rebuild = true;
+        self
+    }
+
     /// How many committed transactions the window has evicted so far.
     pub fn evicted_count(&self) -> usize {
         self.window.evicted_count()
+    }
+
+    /// The engine's decision-cost counters so far (zeros before the
+    /// first decision).
+    pub fn cost(&self) -> EngineCounters {
+        self.engine
+            .as_ref()
+            .map(|e| *e.counters())
+            .unwrap_or_default()
     }
 
     /// A detector using `spec` (which must match the instances'
@@ -50,8 +80,10 @@ impl MlaDetect {
     pub fn new(spec: RuntimeSpec, policy: VictimPolicy) -> Self {
         MlaDetect {
             spec,
+            engine: None,
             window: LiveWindow::new(),
             policy,
+            full_rebuild: false,
             checks: 0,
             cycles_found: 0,
         }
@@ -65,37 +97,63 @@ impl Control for MlaDetect {
 
     fn decide(&mut self, txn: TxnId, world: &World) -> Decision {
         let candidate = LiveWindow::candidate_step(world, txn);
-        let exec = self.window.execution_with(world, Some(candidate));
-        let ctx = ExecContext::new(&exec, &world.nest, &self.spec)
-            .expect("window execution matches nest and spec");
-        let closure = CoherentClosure::compute(&ctx);
-        self.window.maintain_after(&ctx, &closure, world);
+        if self.engine.is_none() {
+            self.engine = Some(ClosureEngine::new(world.nest.clone(), self.spec.clone()));
+        }
+        let engine = self.engine.as_mut().expect("just initialised");
+        if self.full_rebuild {
+            engine.force_rebuild();
+        }
         self.checks += 1;
-        if closure.is_partial_order() {
-            return Decision::Grant;
+        match engine.apply_step(candidate) {
+            Ok(()) => {
+                engine.commit_step();
+                self.window.maintain_with_engine(engine, world);
+                Decision::Grant
+            }
+            Err(witness) => {
+                // The engine already rolled the candidate back; its
+                // witness names the transactions on the closure cycle
+                // (sorted, deduplicated).
+                self.cycles_found += 1;
+                let mut candidates: Vec<TxnId> = witness
+                    .txns
+                    .iter()
+                    .copied()
+                    .filter(|&t| world.status[t.index()] != TxnStatus::Committed)
+                    .collect();
+                if candidates.is_empty() {
+                    // Every other participant is committed: the requester
+                    // itself must yield (commit rollbacks are left to the
+                    // cascade).
+                    candidates.push(txn);
+                }
+                Decision::Abort(vec![self.policy.choose(txn, &candidates, world)])
+            }
         }
-        self.cycles_found += 1;
-        let cycle = closure
-            .witness_cycle(&ctx)
-            .expect("cyclic closure yields a witness");
-        let mut candidates: Vec<TxnId> = cycle
-            .nodes()
-            .iter()
-            .map(|&v| ctx.txn_id(ctx.txn_of(v as usize)))
-            .filter(|&t| world.status[t.index()] != TxnStatus::Committed)
-            .collect();
-        candidates.sort_unstable();
-        candidates.dedup();
-        if candidates.is_empty() {
-            // Every other participant is committed: the requester itself
-            // must yield (commit rollbacks are left to the cascade).
-            candidates.push(txn);
+    }
+
+    fn performed(&mut self, record: &StepRecord, _world: &World) {
+        // Backfill the real observed/written values so future breakpoint
+        // descriptions see what actually happened (the candidate carried
+        // zeros — the closure itself is value-blind).
+        if let Some(engine) = self.engine.as_mut() {
+            engine.performed(&record.as_step());
         }
-        Decision::Abort(vec![self.policy.choose(txn, &candidates, world)])
     }
 
     fn aborted(&mut self, txn: TxnId, _world: &World) {
         self.window.on_aborted(txn);
+        // Shrinking the history invalidates the maintained closure; the
+        // engine schedules one rebuild for the whole cascade and replays
+        // lazily at the next decision.
+        if let Some(engine) = self.engine.as_mut() {
+            engine.remove_txn(txn);
+        }
+    }
+
+    fn decision_cost(&self) -> Option<EngineCounters> {
+        Some(self.cost())
     }
 }
 
@@ -170,6 +228,10 @@ mod tests {
         let total: i64 = (0..4).map(|a| out.store.value(e(a))).sum();
         assert_eq!(total, 400);
         assert!(control.checks > 0);
+        // The simulator merged the engine counters into the run metrics.
+        assert_eq!(out.metrics.decision_cost, control.cost());
+        assert!(out.metrics.decision_cost.steps_applied > 0);
+        assert!(out.metrics.rows_per_decision() > 0.0);
     }
 
     #[test]
@@ -211,6 +273,61 @@ mod tests {
         assert!(oracle::is_correctable_outcome(&out, &nest, &spec));
         assert_eq!(out.store.value(e(0)), 10);
         assert_eq!(out.store.value(e(1)), 10);
+        // The tentpole property: an abort-free run never rebuilds the
+        // closure from scratch — every grant was a pure delta.
+        let cost = control.cost();
+        assert!(cost.steps_applied > 0);
+        assert_eq!(cost.rebuilds, 0, "grant path must not batch-recompute");
+        assert_eq!(cost.rollbacks, 0);
+    }
+
+    #[test]
+    fn full_rebuild_ablation_decides_identically() {
+        // The A1 ablation runs the same decision procedure through the
+        // same engine, only paying batch cost per step: outcomes must be
+        // identical, and the rebuild counter must show the charge.
+        let (nest, instances, spec, initial) = banking_setup(8, 4);
+        let arrivals = vec![0u64; instances.len()];
+        let mut inc = MlaDetect::new(spec.clone(), VictimPolicy::FewestSteps);
+        let out_inc = run(
+            nest.clone(),
+            instances,
+            initial.clone(),
+            &arrivals,
+            &SimConfig::seeded(25),
+            &mut inc,
+        );
+        // Fresh instances: TxnInstance is stateful and not Clone.
+        let (_, instances, _, _) = banking_setup(8, 4);
+        let mut full = MlaDetect::new(spec.clone(), VictimPolicy::FewestSteps).with_full_rebuild();
+        let out_full = run(
+            nest.clone(),
+            instances,
+            initial,
+            &arrivals,
+            &SimConfig::seeded(25),
+            &mut full,
+        );
+        assert_eq!(out_inc.metrics.committed, out_full.metrics.committed);
+        assert_eq!(out_inc.metrics.aborts, out_full.metrics.aborts);
+        assert_eq!(out_inc.execution.steps(), out_full.execution.steps());
+        assert_eq!(inc.checks, full.checks);
+        assert_eq!(
+            full.cost().rebuilds,
+            full.checks,
+            "one rebuild per decision"
+        );
+        assert!(
+            inc.cost().rebuilds < full.cost().rebuilds,
+            "incremental mode must rebuild strictly less"
+        );
+        assert!(
+            inc.cost().rows_touched < full.cost().rows_touched,
+            "incremental mode must do strictly less closure work \
+             ({} vs {})",
+            inc.cost().rows_touched,
+            full.cost().rows_touched
+        );
     }
 
     #[test]

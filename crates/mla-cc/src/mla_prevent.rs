@@ -13,12 +13,18 @@
 //! can deadlock, so (per the paper's "priority-rollback mechanism for
 //! preventing blocking") a waits-for graph is maintained and a victim is
 //! rolled back whenever a wait would close a waits-for cycle.
+//!
+//! The closure is maintained incrementally by [`ClosureEngine`]: each
+//! candidate is applied as a tentative delta, the blocker probe is one
+//! O(1) frontier lookup per live transaction, and a deferred candidate
+//! is rolled back to be retried later — no batch recomputation on any
+//! path.
 
-use mla_core::closure::CoherentClosure;
-use mla_core::spec::ExecContext;
+use mla_core::{ClosureEngine, EngineCounters};
 use mla_graph::IncrementalTopo;
 use mla_model::TxnId;
 use mla_sim::{Control, Decision, TxnStatus, World};
+use mla_storage::StepRecord;
 use mla_txn::RuntimeSpec;
 
 use crate::victim::VictimPolicy;
@@ -27,14 +33,17 @@ use crate::window::LiveWindow;
 /// The pessimistic multilevel-atomicity control.
 pub struct MlaPrevent {
     spec: RuntimeSpec,
+    /// The incremental closure over the live window, created on the
+    /// first decision (the nest lives in the [`World`]).
+    engine: Option<ClosureEngine<RuntimeSpec>>,
     window: LiveWindow,
     waits: IncrementalTopo,
     policy: VictimPolicy,
     /// Steps delayed waiting for a breakpoint (E4/E6 accounting).
     pub breakpoint_waits: u64,
     /// Grants the §6 delay rule alone would have admitted despite a
-    /// cyclic candidate closure, caught by the belt-and-braces acyclicity
-    /// check. Zero in every run if the rule is as sufficient as the paper
+    /// cyclic candidate closure, caught by the engine's cycle rejection.
+    /// Zero in every run if the rule is as sufficient as the paper
     /// argues — the experiments report it to confirm.
     pub prevention_misses: u64,
 }
@@ -54,91 +63,24 @@ impl MlaPrevent {
         }
     }
 
-    /// A preventer over `txn_count` transactions using `spec` and the
-    /// given deadlock-victim policy.
-    pub fn new(txn_count: usize, spec: RuntimeSpec, policy: VictimPolicy) -> Self {
-        MlaPrevent {
-            spec,
-            window: LiveWindow::new(),
-            waits: IncrementalTopo::new(txn_count),
-            policy,
-            breakpoint_waits: 0,
-            prevention_misses: 0,
-        }
-    }
-}
-
-impl Control for MlaPrevent {
-    fn name(&self) -> &'static str {
-        "mla-prevent"
+    /// The engine's decision-cost counters so far (zeros before the
+    /// first decision).
+    pub fn cost(&self) -> EngineCounters {
+        self.engine
+            .as_ref()
+            .map(|e| *e.counters())
+            .unwrap_or_default()
     }
 
-    fn decide(&mut self, txn: TxnId, world: &World) -> Decision {
-        let candidate = LiveWindow::candidate_step(world, txn);
-        let exec = self.window.execution_with(world, Some(candidate));
-        let ctx = ExecContext::new(&exec, &world.nest, &self.spec)
-            .expect("window execution matches nest and spec");
-        let closure = CoherentClosure::compute(&ctx);
-        self.window.maintain_after(&ctx, &closure, world);
-        let beta = exec.len() - 1;
-
-        // Find blockers: live unfinished transactions whose last step
-        // precedes beta in the closure but is not at the required
-        // breakpoint.
-        let mut blockers: Vec<TxnId> = Vec::new();
-        for local in 0..ctx.txn_count() {
-            let t = ctx.txn_id(local);
-            if t == txn
-                || world.status[t.index()] == TxnStatus::Committed
-                || world.instance(t).is_finished()
-                || world.instance(t).seq() == 0
-            {
-                continue;
-            }
-            let steps = ctx.steps_of(local);
-            // steps may include the candidate only for txn itself.
-            let &alpha = steps.last().expect("seq > 0 means steps exist");
-            if closure.related(&ctx, alpha, beta) {
-                let level = world.level(t, txn);
-                if !world.instance(t).at_breakpoint(level) {
-                    blockers.push(t);
-                }
-            }
-        }
-
-        if blockers.is_empty() {
-            // The §6 argument says the step cannot create a cycle now.
-            // Verify anyway: if the candidate closure is somehow cyclic,
-            // resolve by rollback instead of corrupting the history.
-            if !closure.is_partial_order() {
-                self.prevention_misses += 1;
-                let cycle = closure
-                    .witness_cycle(&ctx)
-                    .expect("cyclic closure yields a witness");
-                let mut candidates: Vec<TxnId> = cycle
-                    .nodes()
-                    .iter()
-                    .map(|&v| ctx.txn_id(ctx.txn_of(v as usize)))
-                    .filter(|&t| world.status[t.index()] != TxnStatus::Committed)
-                    .collect();
-                candidates.sort_unstable();
-                candidates.dedup();
-                if candidates.is_empty() {
-                    candidates.push(txn);
-                }
-                return Decision::Abort(vec![self.policy.choose(txn, &candidates, world)]);
-            }
-            // Performing the step cannot create a cycle; this requester
-            // waits on nobody (incoming waits from others must survive).
-            self.clear_out_edges(txn);
-            return Decision::Grant;
-        }
+    /// Records the waits-for edges of a deferral; returns a rollback
+    /// decision instead if an edge would close a waits-for cycle.
+    fn defer_on(&mut self, txn: TxnId, blockers: &[TxnId], world: &World) -> Decision {
         self.breakpoint_waits += 1;
         // Refresh this requester's outgoing waits-for edges only:
         // detaching the whole node would erase *other* transactions'
         // waits on this one and hide wait cycles (livelock).
         self.clear_out_edges(txn);
-        for b in &blockers {
+        for b in blockers {
             if let Err(cycle) = self.waits.add_edge(txn.0, b.0) {
                 // A waits-for cycle: roll back a victim on it.
                 let candidates: Vec<TxnId> = cycle
@@ -158,6 +100,125 @@ impl Control for MlaPrevent {
         Decision::Defer
     }
 
+    /// A preventer over `txn_count` transactions using `spec` and the
+    /// given deadlock-victim policy.
+    pub fn new(txn_count: usize, spec: RuntimeSpec, policy: VictimPolicy) -> Self {
+        MlaPrevent {
+            spec,
+            engine: None,
+            window: LiveWindow::new(),
+            waits: IncrementalTopo::new(txn_count),
+            policy,
+            breakpoint_waits: 0,
+            prevention_misses: 0,
+        }
+    }
+}
+
+impl Control for MlaPrevent {
+    fn name(&self) -> &'static str {
+        "mla-prevent"
+    }
+
+    fn decide(&mut self, txn: TxnId, world: &World) -> Decision {
+        let candidate = LiveWindow::candidate_step(world, txn);
+        if self.engine.is_none() {
+            self.engine = Some(ClosureEngine::new(world.nest.clone(), self.spec.clone()));
+        }
+        let engine = self.engine.as_mut().expect("just initialised");
+        match engine.apply_step(candidate) {
+            Ok(()) => {
+                // Find blockers against the *tentative* closure (it now
+                // includes the candidate): live unfinished transactions
+                // whose last performed step precedes the candidate but is
+                // not at the required breakpoint. One O(1) frontier probe
+                // per live transaction.
+                let lt_req = engine.local_of(txn).expect("candidate was applied");
+                let beta = *engine
+                    .steps_of(lt_req)
+                    .last()
+                    .expect("candidate is a row of its transaction");
+                let mut blockers: Vec<TxnId> = Vec::new();
+                for lt in 0..engine.txn_count() {
+                    let t = engine.txn_id(lt);
+                    if t == txn
+                        || world.status[t.index()] == TxnStatus::Committed
+                        || world.instance(t).is_finished()
+                        || world.instance(t).seq() == 0
+                    {
+                        continue;
+                    }
+                    let &alpha = engine
+                        .steps_of(lt)
+                        .last()
+                        .expect("engine columns are created by a first step");
+                    // Stale column of a since-restarted transaction: its
+                    // rows died with the rollback.
+                    if !engine.is_live(alpha) {
+                        continue;
+                    }
+                    if engine.related(alpha, beta) {
+                        let level = world.level(t, txn);
+                        if !world.instance(t).at_breakpoint(level) {
+                            blockers.push(t);
+                        }
+                    }
+                }
+                if blockers.is_empty() {
+                    // §6: every closure-predecessor's last step sits at a
+                    // suitable breakpoint, so performing now keeps the
+                    // closure consistent with the performance order.
+                    engine.commit_step();
+                    self.window.maintain_with_engine(engine, world);
+                    self.clear_out_edges(txn);
+                    return Decision::Grant;
+                }
+                engine.rollback_step();
+                self.defer_on(txn, &blockers, world)
+            }
+            Err(witness) => {
+                // The candidate would close a closure cycle — something
+                // the §6 delay rule promises never happens once blockers
+                // are honoured. If there *are* blockers, deferring keeps
+                // the promise alive (the cycle may dissolve once they
+                // reach breakpoints); a blocker-free cyclic candidate is
+                // a genuine prevention miss resolved by rollback.
+                let blockers: Vec<TxnId> = witness
+                    .txns
+                    .iter()
+                    .copied()
+                    .filter(|&t| {
+                        t != txn
+                            && world.status[t.index()] != TxnStatus::Committed
+                            && !world.instance(t).is_finished()
+                            && world.instance(t).seq() > 0
+                            && !world.instance(t).at_breakpoint(world.level(t, txn))
+                    })
+                    .collect();
+                if !blockers.is_empty() {
+                    return self.defer_on(txn, &blockers, world);
+                }
+                self.prevention_misses += 1;
+                let mut candidates: Vec<TxnId> = witness
+                    .txns
+                    .iter()
+                    .copied()
+                    .filter(|&t| world.status[t.index()] != TxnStatus::Committed)
+                    .collect();
+                if candidates.is_empty() {
+                    candidates.push(txn);
+                }
+                Decision::Abort(vec![self.policy.choose(txn, &candidates, world)])
+            }
+        }
+    }
+
+    fn performed(&mut self, record: &StepRecord, _world: &World) {
+        if let Some(engine) = self.engine.as_mut() {
+            engine.performed(&record.as_step());
+        }
+    }
+
     fn committed(&mut self, txn: TxnId, _world: &World) {
         self.waits.detach_node(txn.0);
     }
@@ -165,6 +226,13 @@ impl Control for MlaPrevent {
     fn aborted(&mut self, txn: TxnId, _world: &World) {
         self.window.on_aborted(txn);
         self.waits.detach_node(txn.0);
+        if let Some(engine) = self.engine.as_mut() {
+            engine.remove_txn(txn);
+        }
+    }
+
+    fn decision_cost(&self) -> Option<EngineCounters> {
+        Some(self.cost())
     }
 }
 
@@ -227,6 +295,10 @@ mod tests {
         assert_eq!(out.metrics.aborts, 0);
         assert!(oracle::is_correctable_outcome(&out, &nest, &spec));
         assert_eq!(out.store.value(e(0)) + out.store.value(e(1)), 20);
+        assert_eq!(control.prevention_misses, 0);
+        // Abort-free prevention runs stay on the pure delta path.
+        assert_eq!(control.cost().rebuilds, 0);
+        assert!(control.cost().steps_applied > 0);
     }
 
     #[test]

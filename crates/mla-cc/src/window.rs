@@ -29,6 +29,7 @@ use std::collections::HashSet;
 
 use mla_core::closure::CoherentClosure;
 use mla_core::spec::ExecContext;
+use mla_core::{BreakpointSpecification, ClosureEngine};
 use mla_model::{Execution, Step, TxnId};
 use mla_sim::{TxnStatus, World};
 
@@ -125,6 +126,66 @@ impl LiveWindow {
             if !kept && world.status[t.index()] == TxnStatus::Committed {
                 self.evicted.insert(t);
             }
+        }
+    }
+
+    /// Applies the same eviction rule against a [`ClosureEngine`]'s
+    /// maintained closure instead of a freshly computed batch one, and
+    /// *projects the evicted transactions out of the engine* so their
+    /// frontier columns stop costing work on every future step.
+    ///
+    /// The transaction-level pair graph comes from
+    /// [`ClosureEngine::txn_frontier_adj`]; forward reachability starts
+    /// from engine columns that still have live rows and whose owner is
+    /// not committed. Columns whose rows are already dead (previously
+    /// evicted or removed) are ignored — they are out of the window
+    /// whatever the reachability says.
+    ///
+    /// Must be called with no tentative step pending (i.e. after
+    /// [`ClosureEngine::commit_step`] / `rollback_step`), since eviction
+    /// mutates the maintained state.
+    pub fn maintain_with_engine<S: BreakpointSpecification>(
+        &mut self,
+        engine: &mut ClosureEngine<S>,
+        world: &World,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let adj = engine.txn_frontier_adj();
+        let t_count = engine.txn_count();
+        let mut live_col = vec![false; t_count];
+        for (lt, col) in live_col.iter_mut().enumerate() {
+            *col = engine.steps_of(lt).iter().any(|&r| engine.is_live(r));
+        }
+        let mut keep = vec![false; t_count];
+        let mut stack: Vec<usize> = Vec::new();
+        for lt in 0..t_count {
+            if live_col[lt] && world.status[engine.txn_id(lt).index()] != TxnStatus::Committed {
+                keep[lt] = true;
+                stack.push(lt);
+            }
+        }
+        while let Some(u) = stack.pop() {
+            for &w in &adj[u] {
+                if !keep[w] {
+                    keep[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        let mut to_evict: Vec<usize> = Vec::new();
+        for lt in 0..t_count {
+            if live_col[lt]
+                && !keep[lt]
+                && world.status[engine.txn_id(lt).index()] == TxnStatus::Committed
+            {
+                to_evict.push(lt);
+            }
+        }
+        for lt in to_evict {
+            self.evicted.insert(engine.txn_id(lt));
+            engine.evict(lt);
         }
     }
 
@@ -309,6 +370,28 @@ mod tests {
         assert_eq!(window.evicted_count(), 1);
         window.on_aborted(TxnId(0)); // commit rollback resurrects t0
         assert_eq!(window.evicted_count(), 0);
+    }
+
+    #[test]
+    fn engine_maintenance_matches_batch_rule_and_projects() {
+        use mla_core::ClosureEngine;
+        let world = world();
+        let mut window = LiveWindow::new();
+        let mut engine = ClosureEngine::new(Nest::flat(2), RuntimeSpec::new(2));
+        for r in world.store.journal() {
+            engine.apply_step(r.as_step()).expect("journal is acyclic");
+            engine.commit_step();
+        }
+        assert_eq!(engine.live_count(), 3);
+        window.maintain_with_engine(&mut engine, &world);
+        // Same verdict as the batch rule: committed t0 is unreachable
+        // from live t1 and gets evicted — and its rows leave the engine.
+        assert_eq!(window.evicted_count(), 1);
+        assert_eq!(engine.live_count(), 1);
+        // Idempotent: a dead column is not evicted twice.
+        window.maintain_with_engine(&mut engine, &world);
+        assert_eq!(window.evicted_count(), 1);
+        assert_eq!(engine.live_count(), 1);
     }
 
     #[test]

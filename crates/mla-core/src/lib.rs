@@ -58,6 +58,7 @@ pub mod action_tree;
 pub mod atomicity;
 pub mod breakpoints;
 pub mod closure;
+pub mod engine;
 pub mod extend;
 pub mod nest;
 pub mod relations;
@@ -68,6 +69,7 @@ pub mod theorem;
 pub use atomicity::{check_multilevel_atomic, is_multilevel_atomic, MlaCriterion};
 pub use breakpoints::BreakpointDescription;
 pub use closure::CoherentClosure;
+pub use engine::{ClosureEngine, CycleWitness, EngineCounters};
 pub use extend::{extend_to_total_order, witness_execution};
 pub use nest::{Nest, NestBuilder};
 pub use spec::{AtomicSpec, BreakpointSpecification, ExecContext, FixedSpec, FreeSpec};

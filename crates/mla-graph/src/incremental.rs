@@ -148,6 +148,30 @@ impl IncrementalTopo {
         }
     }
 
+    /// Grows the graph until it has at least `n` nodes, appending fresh
+    /// isolated nodes at the end of the order.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        while self.node_count() < n {
+            self.add_node();
+        }
+    }
+
+    /// Clears every edge and resets the order to the identity, keeping
+    /// node capacity. Used when a closure engine rebuilds from scratch
+    /// (abort/eviction) without reallocating.
+    pub fn reset(&mut self) {
+        for s in &mut self.succ {
+            s.clear();
+        }
+        for p in &mut self.pred {
+            p.clear();
+        }
+        for (i, o) in self.ord.iter_mut().enumerate() {
+            *o = i as u64;
+        }
+        self.edge_count = 0;
+    }
+
     /// Whether a path `u -> ... -> v` of length >= 1 exists.
     /// (Linear scan; intended for assertions and tests, not hot paths.)
     pub fn has_path(&self, u: NodeId, v: NodeId) -> bool {
@@ -344,6 +368,107 @@ mod tests {
         assert_eq!(n, 1);
         t.add_edge(1, 0).unwrap();
         assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn removing_a_finished_nodes_edges_reopens_the_order() {
+        // Scheduler pattern: node 1 is a committed/aborted transaction's
+        // step. Dropping its incident edges one by one (not detach) must
+        // let a previously cyclic edge in.
+        let mut t = IncrementalTopo::new(4);
+        t.add_edge(0, 1).unwrap();
+        t.add_edge(1, 2).unwrap();
+        t.add_edge(1, 3).unwrap();
+        assert!(t.add_edge(2, 0).is_err());
+        assert!(t.remove_edge(0, 1));
+        assert!(t.remove_edge(1, 2));
+        // 0 ->* 2 is broken now; the former cycle edge is acceptable.
+        assert_eq!(t.add_edge(2, 0), Ok(true));
+        assert!(t.contains_edge(1, 3), "unrelated edge must survive");
+        assert_eq!(t.edge_count(), 2);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn detach_hub_node_then_reinsert_former_cycles() {
+        // A hub with both fan-in and fan-out; detaching it must remove
+        // every incident edge and unlock all cycles through it.
+        let mut t = IncrementalTopo::new(5);
+        for (u, v) in [(0, 2), (1, 2), (2, 3), (2, 4)] {
+            t.add_edge(u, v).unwrap();
+        }
+        assert!(t.add_edge(3, 0).is_err());
+        assert!(t.add_edge(4, 1).is_err());
+        t.detach_node(2);
+        assert_eq!(t.edge_count(), 0);
+        assert_eq!(t.add_edge(3, 0), Ok(true));
+        assert_eq!(t.add_edge(4, 1), Ok(true));
+        // The node id stays valid and can rejoin later.
+        assert_eq!(t.add_edge(0, 2), Ok(true));
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn reset_restores_a_fresh_graph() {
+        let mut t = IncrementalTopo::new(3);
+        t.add_edge(2, 1).unwrap();
+        t.add_edge(1, 0).unwrap();
+        t.reset();
+        assert_eq!(t.edge_count(), 0);
+        assert!((0..3).all(|v| t.position(v) == v as u64));
+        // Edges that used to be forced into a reordering are fresh again.
+        assert_eq!(t.add_edge(0, 1), Ok(true));
+        assert_eq!(t.add_edge(1, 2), Ok(true));
+        assert!(t.add_edge(2, 0).is_err());
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn ensure_nodes_grows_monotonically() {
+        let mut t = IncrementalTopo::new(1);
+        t.ensure_nodes(4);
+        assert_eq!(t.node_count(), 4);
+        t.ensure_nodes(2); // never shrinks
+        assert_eq!(t.node_count(), 4);
+        t.add_edge(3, 0).unwrap();
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn randomized_deletions_against_static_checker() {
+        use crate::digraph::DiGraph;
+        use crate::topo::is_acyclic;
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(23);
+        for trial in 0..60 {
+            let n = rng.gen_range(2..12);
+            let mut t = IncrementalTopo::new(n);
+            let mut live: Vec<(NodeId, NodeId)> = Vec::new();
+            for _ in 0..rng.gen_range(0..60) {
+                let u = rng.gen_range(0..n as NodeId);
+                let v = rng.gen_range(0..n as NodeId);
+                if rng.gen_bool(0.3) && !live.is_empty() {
+                    let i = rng.gen_range(0..live.len());
+                    let (a, b) = live.swap_remove(i);
+                    assert!(t.remove_edge(a, b), "trial {trial}: edge vanished");
+                } else {
+                    let mut candidate = live.clone();
+                    candidate.push((u, v));
+                    let static_ok = is_acyclic(&DiGraph::from_edges(n, candidate.iter().copied()));
+                    match t.add_edge(u, v) {
+                        Ok(true) => {
+                            assert!(static_ok, "trial {trial}: accepted cyclic ({u},{v})");
+                            live.push((u, v));
+                        }
+                        Ok(false) => {}
+                        Err(_) => {
+                            assert!(!static_ok, "trial {trial}: rejected acyclic ({u},{v})");
+                        }
+                    }
+                }
+                assert!(t.check_invariants(), "trial {trial}: invariant broken");
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The concurrency-control interface plugged into every processor.
 
+use mla_core::EngineCounters;
 use mla_model::TxnId;
 use mla_storage::StepRecord;
 
@@ -49,6 +50,14 @@ pub trait Control {
     /// restart. Its journal records are already undone.
     fn aborted(&mut self, txn: TxnId, world: &World) {
         let _ = (txn, world);
+    }
+
+    /// The control's closure decision-cost counters, if it maintains an
+    /// incremental closure engine. The simulator merges the result into
+    /// [`crate::Metrics::decision_cost`] at the end of the run; classical
+    /// controls keep the default `None`.
+    fn decision_cost(&self) -> Option<EngineCounters> {
+        None
     }
 }
 

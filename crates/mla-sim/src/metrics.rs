@@ -1,5 +1,7 @@
 //! Run metrics: the quantities the E-series experiments report.
 
+use mla_core::EngineCounters;
+
 /// Counters and samples collected over one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
@@ -28,6 +30,10 @@ pub struct Metrics {
     pub makespan: u64,
     /// Whether the run exhausted its event budget before finishing.
     pub timed_out: bool,
+    /// Closure decision-cost counters reported by the control at the end
+    /// of the run (all zeros for controls that do not maintain an
+    /// incremental closure engine).
+    pub decision_cost: EngineCounters,
 }
 
 impl Metrics {
@@ -77,6 +83,16 @@ impl Metrics {
             return 0.0;
         }
         self.steps_undone as f64 / self.steps_performed as f64
+    }
+
+    /// Mean closure rows processed per decision — the per-decision work
+    /// measure the incremental engine is judged by (0 when the control
+    /// reported no engine counters).
+    pub fn rows_per_decision(&self) -> f64 {
+        if self.decision_cost.steps_applied == 0 {
+            return 0.0;
+        }
+        self.decision_cost.rows_touched as f64 / self.decision_cost.steps_applied as f64
     }
 }
 

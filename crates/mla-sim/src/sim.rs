@@ -238,6 +238,7 @@ pub fn run(
     }
 
     world.metrics.makespan = world.clock;
+    world.metrics.decision_cost = control.decision_cost().unwrap_or_default();
     world.metrics.commit_latencies = committed_at
         .iter()
         .zip(arrivals)

@@ -1,0 +1,236 @@
+//! Offline API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion its benches use: `benchmark_group`,
+//! `sample_size`, `bench_with_input` / `bench_function`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros. Each sample
+//! auto-calibrates an iteration count (~`TARGET_SAMPLE_TIME` of work),
+//! and the report prints the median, min, and max per-iteration time —
+//! no statistics beyond that, no HTML output, no saved baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(10);
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Runs the measured routine. `iter` times `iters` consecutive calls
+/// per sample and records the mean per-call duration of each sample.
+pub struct Bencher {
+    samples: Vec<f64>, // ns per iteration, one entry per sample
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the per-sample iteration count until one
+        // sample takes around TARGET_SAMPLE_TIME.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 24 {
+                break;
+            }
+            let grow = if elapsed.as_nanos() == 0 {
+                16
+            } else {
+                ((TARGET_SAMPLE_TIME.as_nanos() / elapsed.as_nanos()) + 1).min(16) as u64
+            };
+            iters = iters.saturating_mul(grow.max(2));
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            self.samples.push(ns);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        self.report(&id.id, &mut bencher.samples);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        self.report(&id.id, &mut bencher.samples);
+        self
+    }
+
+    fn report(&mut self, id: &str, samples: &mut [f64]) {
+        let line = if samples.is_empty() {
+            format!("{}/{:<40} (no samples)", self.name, id)
+        } else {
+            samples.sort_by(|a, b| a.total_cmp(b));
+            let median = samples[samples.len() / 2];
+            let min = samples[0];
+            let max = samples[samples.len() - 1];
+            format!(
+                "{}/{:<40} time: [{} {} {}]",
+                self.name,
+                id,
+                format_ns(min),
+                format_ns(median),
+                format_ns(max)
+            )
+        };
+        println!("{line}");
+        self.criterion.lines.push(line);
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    lines: Vec<String>,
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    pub fn final_summary(&self) {
+        if !self.lines.is_empty() {
+            println!("\n{} benchmark(s) complete", self.lines.len());
+        }
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+        assert_eq!(c.lines.len(), 1);
+        assert!(c.lines[0].contains("smoke/sum/100"));
+    }
+}
