@@ -1,0 +1,162 @@
+//! A5 — sharding the closure engine by entity partition.
+//!
+//! The partitioned scanner workload (`mla-workload::partitioned`) keeps
+//! one long-lived atomic transaction per entity universe, so every
+//! universe's whole history stays in the live window and each decision's
+//! closure work grows with the *global* window under the unsharded
+//! engine. Sharding the engine by entity partition confines that work to
+//! the candidate's own universe.
+//!
+//! Decisions are provably identical across shard counts (the workload is
+//! conflict-chain-shaped and abort-free, and the sharded engine
+//! maintains the exact disjoint-union closure — see DESIGN.md and the
+//! differential harness), so every cell must reproduce the unsharded
+//! history byte for byte; only the cost columns may move. The 1-shard
+//! cell is additionally asserted *counter-identical* to the unsharded
+//! engine: one group over everything is the same computation.
+//!
+//! A shard count above the universe count (the 8-shard cell over 4
+//! universes) splits universes across shards, so the first scanner step
+//! beyond a universe's opening entity coalesces its two groups — the
+//! merge path is exercised in-sweep and must change nothing but cost.
+
+use mla_cc::VictimPolicy;
+use mla_workload::partitioned::{generate, PartitionedConfig};
+
+use crate::runner::{run_cell, ControlKind};
+use crate::table::{f2, Table};
+
+/// Runs A5.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "A5: entity-sharded closure engine (mla-detect, partitioned scanner workload)",
+        &[
+            "shards",
+            "wall-ms",
+            "speedup",
+            "rows/dec",
+            "edges",
+            "merges",
+            "throughput",
+            "same-history",
+        ],
+    );
+    let config = if quick {
+        PartitionedConfig {
+            partitions: 4,
+            txns_per_partition: 20,
+            scanner_len: 20,
+            arrival_spacing: 2,
+        }
+    } else {
+        PartitionedConfig::default()
+    };
+    let generated = generate(config);
+    let wl = &generated.workload;
+    let policy = VictimPolicy::FewestSteps;
+    let seed = 0xA5;
+
+    let base = run_cell(wl, ControlKind::MlaDetect(policy), seed);
+    assert_eq!(
+        base.outcome.metrics.aborts, 0,
+        "the scanner workload is conflict-chain-shaped and must not abort"
+    );
+    let base_metrics = base.outcome.metrics.clone();
+    table.row(vec![
+        "none".to_string(),
+        f2(base.wall_seconds * 1e3),
+        f2(1.0),
+        f2(base_metrics.rows_per_decision()),
+        base_metrics.decision_cost.edges_inserted.to_string(),
+        "0".to_string(),
+        f2(base_metrics.throughput_per_kilotick()),
+        "yes".to_string(),
+    ]);
+
+    let mut speedup_at_4 = 0.0;
+    for shards in [1usize, 2, 4, 8] {
+        let cell = run_cell(wl, ControlKind::MlaDetectSharded(policy, shards), seed);
+        let m = &cell.outcome.metrics;
+        let same = cell.outcome.execution == base.outcome.execution;
+        // Merges are observable through the group structure: with g live
+        // groups left of the `shards` initial ones, shards - g merges ran.
+        let merges = shards as u64 - m.shard_cost.len() as u64;
+        let speedup = if cell.wall_seconds > 0.0 {
+            base.wall_seconds / cell.wall_seconds
+        } else {
+            0.0
+        };
+        if shards == 4 {
+            speedup_at_4 = speedup;
+        }
+        table.row(vec![
+            shards.to_string(),
+            f2(cell.wall_seconds * 1e3),
+            f2(speedup),
+            f2(m.rows_per_decision()),
+            m.decision_cost.edges_inserted.to_string(),
+            merges.to_string(),
+            f2(m.throughput_per_kilotick()),
+            if same { "yes" } else { "NO" }.to_string(),
+        ]);
+        assert!(
+            same,
+            "sharded ({shards}) history diverged from the unsharded run"
+        );
+        assert_eq!(m.aborts, 0);
+        assert_eq!(
+            m.decision_cost,
+            m.shard_cost.iter().copied().sum(),
+            "reported decision cost must be the sum over shards"
+        );
+        if shards == 1 {
+            assert_eq!(
+                m.decision_cost, base_metrics.decision_cost,
+                "one shard group is the unsharded computation, counter for counter"
+            );
+        }
+    }
+    if !quick {
+        assert!(
+            speedup_at_4 >= 2.0,
+            "4-way sharding must at least halve decision wall-clock on the \
+             partitioned workload (got {speedup_at_4:.2}x)"
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a5_histories_invariant_and_sharding_cuts_rows_per_decision() {
+        let t = run(true);
+        assert_eq!(t.len(), 5);
+        for r in 0..t.len() {
+            assert_eq!(t.cell(r, 7), "yes");
+        }
+        // Row 0 is unsharded, row 3 is the 4-shard cell matching the 4
+        // partitions: per-decision closure work must drop. The counters
+        // are fully deterministic (seeded simulation), so a strict
+        // margin is stable; the large wall-clock effect — per-decision
+        // column scans and eviction confined to one universe — is
+        // asserted by the full-size experiment, not here. rows/dec
+        // differs because a universe's post-commit mass eviction
+        // triggers a compaction rebuild scoped to one shard group
+        // instead of replaying every other universe's live window.
+        let flat: f64 = t.cell(0, 3).parse().unwrap();
+        let sharded: f64 = t.cell(3, 3).parse().unwrap();
+        assert!(
+            sharded * 1.1 < flat,
+            "4-way sharding must cut rows/dec ({sharded} vs {flat})"
+        );
+        // The 1-shard cell reports the same work totals as unsharded.
+        assert_eq!(t.cell(0, 4), t.cell(1, 4), "edge totals must match");
+        assert_eq!(t.cell(0, 3), t.cell(1, 3), "rows/dec must match");
+        // The 8-shard cell over 4 universes must have coalesced.
+        let merges: u64 = t.cell(4, 5).parse().unwrap();
+        assert!(merges > 0, "8 shards over 4 universes must merge");
+    }
+}

@@ -14,13 +14,15 @@
 //! preventing blocking") a waits-for graph is maintained and a victim is
 //! rolled back whenever a wait would close a waits-for cycle.
 //!
-//! The closure is maintained incrementally by [`ClosureEngine`]: each
-//! candidate is applied as a tentative delta, the blocker probe is one
-//! O(1) frontier lookup per live transaction, and a deferred candidate
-//! is rolled back to be retried later — no batch recomputation on any
-//! path.
+//! The closure is maintained incrementally behind an [`EngineBackend`]
+//! (one global engine, or sharded by entity partition via
+//! [`MlaPrevent::with_shards`]): each candidate is applied as a
+//! tentative delta, the blocker probe asks the backend for the
+//! candidate's closure predecessors — answered entirely by the shard
+//! group owning the candidate — and a deferred candidate is rolled back
+//! to be retried later; no batch recomputation on any path.
 
-use mla_core::{ClosureEngine, EngineCounters};
+use mla_core::{EngineBackend, EngineCounters};
 use mla_graph::IncrementalTopo;
 use mla_model::TxnId;
 use mla_sim::{Control, Decision, TxnStatus, World};
@@ -35,7 +37,9 @@ pub struct MlaPrevent {
     spec: RuntimeSpec,
     /// The incremental closure over the live window, created on the
     /// first decision (the nest lives in the [`World`]).
-    engine: Option<ClosureEngine<RuntimeSpec>>,
+    engine: Option<EngineBackend<RuntimeSpec>>,
+    /// Entity partitions for the closure backend (0 = unsharded).
+    shards: usize,
     window: LiveWindow,
     waits: IncrementalTopo,
     policy: VictimPolicy,
@@ -63,12 +67,24 @@ impl MlaPrevent {
         }
     }
 
+    /// Shards the closure engine across `shards` entity partitions
+    /// (`shards == 0` keeps the single global engine). See
+    /// [`crate::MlaDetect::with_shards`].
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(
+            self.engine.is_none(),
+            "set shards before the first decision"
+        );
+        self.shards = shards;
+        self
+    }
+
     /// The engine's decision-cost counters so far (zeros before the
-    /// first decision).
+    /// first decision); for a sharded backend, the sum over shards.
     pub fn cost(&self) -> EngineCounters {
         self.engine
             .as_ref()
-            .map(|e| *e.counters())
+            .map(|e| e.counters())
             .unwrap_or_default()
     }
 
@@ -106,6 +122,7 @@ impl MlaPrevent {
         MlaPrevent {
             spec,
             engine: None,
+            shards: 0,
             window: LiveWindow::new(),
             waits: IncrementalTopo::new(txn_count),
             policy,
@@ -123,7 +140,11 @@ impl Control for MlaPrevent {
     fn decide(&mut self, txn: TxnId, world: &World) -> Decision {
         let candidate = LiveWindow::candidate_step(world, txn);
         if self.engine.is_none() {
-            self.engine = Some(ClosureEngine::new(world.nest.clone(), self.spec.clone()));
+            self.engine = Some(EngineBackend::with_shards(
+                world.nest.clone(),
+                self.spec.clone(),
+                self.shards,
+            ));
         }
         let engine = self.engine.as_mut().expect("just initialised");
         match engine.apply_step(candidate) {
@@ -131,45 +152,27 @@ impl Control for MlaPrevent {
                 // Find blockers against the *tentative* closure (it now
                 // includes the candidate): live unfinished transactions
                 // whose last performed step precedes the candidate but is
-                // not at the required breakpoint. One O(1) frontier probe
-                // per live transaction.
-                let lt_req = engine.local_of(txn).expect("candidate was applied");
-                let beta = *engine
-                    .steps_of(lt_req)
-                    .last()
-                    .expect("candidate is a row of its transaction");
-                let mut blockers: Vec<TxnId> = Vec::new();
-                for lt in 0..engine.txn_count() {
-                    let t = engine.txn_id(lt);
-                    if t == txn
-                        || world.status[t.index()] == TxnStatus::Committed
-                        || world.instance(t).is_finished()
-                        || world.instance(t).seq() == 0
-                    {
-                        continue;
-                    }
-                    let &alpha = engine
-                        .steps_of(lt)
-                        .last()
-                        .expect("engine columns are created by a first step");
-                    // Stale column of a since-restarted transaction: its
-                    // rows died with the rollback.
-                    if !engine.is_live(alpha) {
-                        continue;
-                    }
-                    if engine.related(alpha, beta) {
-                        let level = world.level(t, txn);
-                        if !world.instance(t).at_breakpoint(level) {
-                            blockers.push(t);
-                        }
-                    }
-                }
+                // not at the required breakpoint. The backend answers
+                // with the candidate's closure predecessors, ascending by
+                // transaction id — an order independent of engine layout,
+                // so sharded and unsharded runs wait identically.
+                let blockers: Vec<TxnId> = engine
+                    .pending_predecessors()
+                    .into_iter()
+                    .filter(|&t| {
+                        t != txn
+                            && world.status[t.index()] != TxnStatus::Committed
+                            && !world.instance(t).is_finished()
+                            && world.instance(t).seq() > 0
+                            && !world.instance(t).at_breakpoint(world.level(t, txn))
+                    })
+                    .collect();
                 if blockers.is_empty() {
                     // §6: every closure-predecessor's last step sits at a
                     // suitable breakpoint, so performing now keeps the
                     // closure consistent with the performance order.
                     engine.commit_step();
-                    self.window.maintain_with_engine(engine, world);
+                    self.window.maintain_with_backend(engine, world);
                     self.clear_out_edges(txn);
                     return Decision::Grant;
                 }
@@ -233,6 +236,13 @@ impl Control for MlaPrevent {
 
     fn decision_cost(&self) -> Option<EngineCounters> {
         Some(self.cost())
+    }
+
+    fn shard_decision_cost(&self) -> Vec<EngineCounters> {
+        self.engine
+            .as_ref()
+            .map(|e| e.shard_counters())
+            .unwrap_or_default()
     }
 }
 
@@ -363,6 +373,39 @@ mod tests {
             .map(|s| s.observed)
             .sum();
         assert_eq!(audit_reads, 100, "no money in transit was observed");
+    }
+
+    #[test]
+    fn sharded_prevention_matches_unsharded_outcome() {
+        // Prevention never aborts here (breakpoints make the weave
+        // legal), so the sharded backend must produce the identical
+        // history, wait for wait, to the global engine.
+        let (nest, instances, spec) = opposing_transfers(3, true);
+        let mut flat = MlaPrevent::new(2, spec.clone(), VictimPolicy::FewestSteps);
+        let out_flat = run(
+            nest.clone(),
+            instances,
+            [(e(0), 10), (e(1), 10)],
+            &[0, 0],
+            &SimConfig::seeded(31),
+            &mut flat,
+        );
+        let (_, instances, _) = opposing_transfers(3, true);
+        let mut sharded =
+            MlaPrevent::new(2, spec.clone(), VictimPolicy::FewestSteps).with_shards(4);
+        let out_sharded = run(
+            nest.clone(),
+            instances,
+            [(e(0), 10), (e(1), 10)],
+            &[0, 0],
+            &SimConfig::seeded(31),
+            &mut sharded,
+        );
+        assert_eq!(out_sharded.metrics.aborts, 0);
+        assert_eq!(out_flat.execution.steps(), out_sharded.execution.steps());
+        assert_eq!(flat.breakpoint_waits, sharded.breakpoint_waits);
+        assert_eq!(sharded.prevention_misses, 0);
+        assert!(oracle::is_correctable_outcome(&out_sharded, &nest, &spec));
     }
 
     #[test]

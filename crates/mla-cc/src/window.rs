@@ -29,7 +29,7 @@ use std::collections::HashSet;
 
 use mla_core::closure::CoherentClosure;
 use mla_core::spec::ExecContext;
-use mla_core::{BreakpointSpecification, ClosureEngine};
+use mla_core::{BreakpointSpecification, ClosureEngine, EngineBackend};
 use mla_model::{Execution, Step, TxnId};
 use mla_sim::{TxnStatus, World};
 
@@ -134,14 +134,11 @@ impl LiveWindow {
     /// *projects the evicted transactions out of the engine* so their
     /// frontier columns stop costing work on every future step.
     ///
-    /// The transaction-level pair graph comes from
-    /// [`ClosureEngine::txn_frontier_adj`]; forward reachability starts
-    /// from engine columns that still have live rows and whose owner is
-    /// not committed. Columns whose rows are already dead (previously
-    /// evicted or removed) are ignored — they are out of the window
-    /// whatever the reachability says.
-    ///
-    /// Must be called with no tentative step pending (i.e. after
+    /// The rule itself lives on the engine
+    /// ([`ClosureEngine::evict_unreachable`]): keep every transaction
+    /// forward-reachable from an uncommitted one along the maintained
+    /// pair relation, evict the committed rest. Must be called with no
+    /// tentative step pending (i.e. after
     /// [`ClosureEngine::commit_step`] / `rollback_step`), since eviction
     /// mutates the maintained state.
     pub fn maintain_with_engine<S: BreakpointSpecification>(
@@ -152,40 +149,25 @@ impl LiveWindow {
         if !self.enabled {
             return;
         }
-        let adj = engine.txn_frontier_adj();
-        let t_count = engine.txn_count();
-        let mut live_col = vec![false; t_count];
-        for (lt, col) in live_col.iter_mut().enumerate() {
-            *col = engine.steps_of(lt).iter().any(|&r| engine.is_live(r));
+        for t in engine.evict_unreachable(|t| world.status[t.index()] != TxnStatus::Committed) {
+            self.evicted.insert(t);
         }
-        let mut keep = vec![false; t_count];
-        let mut stack: Vec<usize> = Vec::new();
-        for lt in 0..t_count {
-            if live_col[lt] && world.status[engine.txn_id(lt).index()] != TxnStatus::Committed {
-                keep[lt] = true;
-                stack.push(lt);
-            }
+    }
+
+    /// [`maintain_with_engine`](Self::maintain_with_engine) over an
+    /// [`EngineBackend`]: the unsharded engine does the global scan, the
+    /// sharded one projects only the shard groups whose state changed
+    /// since the last maintenance pass — same evictions either way.
+    pub fn maintain_with_backend<S: BreakpointSpecification + Clone>(
+        &mut self,
+        backend: &mut EngineBackend<S>,
+        world: &World,
+    ) {
+        if !self.enabled {
+            return;
         }
-        while let Some(u) = stack.pop() {
-            for &w in &adj[u] {
-                if !keep[w] {
-                    keep[w] = true;
-                    stack.push(w);
-                }
-            }
-        }
-        let mut to_evict: Vec<usize> = Vec::new();
-        for lt in 0..t_count {
-            if live_col[lt]
-                && !keep[lt]
-                && world.status[engine.txn_id(lt).index()] == TxnStatus::Committed
-            {
-                to_evict.push(lt);
-            }
-        }
-        for lt in to_evict {
-            self.evicted.insert(engine.txn_id(lt));
-            engine.evict(lt);
+        for t in backend.evict_unreachable(|t| world.status[t.index()] != TxnStatus::Committed) {
+            self.evicted.insert(t);
         }
     }
 
@@ -392,6 +374,24 @@ mod tests {
         window.maintain_with_engine(&mut engine, &world);
         assert_eq!(window.evicted_count(), 1);
         assert_eq!(engine.live_count(), 1);
+    }
+
+    #[test]
+    fn backend_maintenance_matches_engine_rule() {
+        use mla_core::EngineBackend;
+        let world = world();
+        for shards in [0usize, 1, 2, 4] {
+            let mut window = LiveWindow::new();
+            let mut backend =
+                EngineBackend::with_shards(Nest::flat(2), RuntimeSpec::new(2), shards);
+            for r in world.store.journal() {
+                backend.apply_step(r.as_step()).expect("journal is acyclic");
+                backend.commit_step();
+            }
+            window.maintain_with_backend(&mut backend, &world);
+            assert_eq!(window.evicted_count(), 1, "shards={shards}");
+            assert_eq!(backend.live_count(), 1, "shards={shards}");
+        }
     }
 
     #[test]

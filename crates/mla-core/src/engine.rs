@@ -72,7 +72,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use mla_graph::topo::Cycle;
-use mla_graph::IncrementalTopo;
+use mla_graph::{IncrementalTopo, PairSummary};
 use mla_model::{EntityId, Execution, Step, TxnId};
 
 use crate::breakpoints::BreakpointDescription;
@@ -100,6 +100,31 @@ pub struct EngineCounters {
     /// Tentative steps rolled back (cycle rejections and scheduler
     /// defers).
     pub rollbacks: u64,
+}
+
+impl std::ops::AddAssign for EngineCounters {
+    fn add_assign(&mut self, rhs: EngineCounters) {
+        self.steps_applied += rhs.steps_applied;
+        self.edges_inserted += rhs.edges_inserted;
+        self.rows_touched += rhs.rows_touched;
+        self.rebuilds += rhs.rebuilds;
+        self.rollbacks += rhs.rollbacks;
+    }
+}
+
+impl std::ops::Add for EngineCounters {
+    type Output = EngineCounters;
+
+    fn add(mut self, rhs: EngineCounters) -> EngineCounters {
+        self += rhs;
+        self
+    }
+}
+
+impl std::iter::Sum for EngineCounters {
+    fn sum<I: Iterator<Item = EngineCounters>>(iter: I) -> EngineCounters {
+        iter.fold(EngineCounters::default(), |acc, c| acc + c)
+    }
 }
 
 /// A concrete closure cycle reported by [`ClosureEngine::apply_step`],
@@ -236,6 +261,116 @@ impl<S: BreakpointSpecification> ClosureEngine<S> {
         assert!(self.tentative, "no pending step to commit");
         self.journal.clear();
         self.tentative = false;
+    }
+
+    /// Replays a step through the full apply pipeline and commits it
+    /// immediately, *without* counting it as an offered decision
+    /// (`steps_applied` stays put). This is the shard-merge path: when
+    /// two shards coalesce, the destination engine absorbs the merged
+    /// stamped logs — known-acyclic history, not new scheduler traffic —
+    /// so the per-decision cost accounting stays comparable to an
+    /// unsharded engine fed the same decisions.
+    pub fn absorb_step(&mut self, step: Step) -> Result<(), CycleWitness> {
+        assert!(!self.tentative, "previous tentative step not resolved");
+        if self.needs_rebuild {
+            self.rebuild();
+        }
+        self.tentative = true;
+        match self.apply_inner(step) {
+            Ok(()) => {
+                self.journal.clear();
+                self.tentative = false;
+                Ok(())
+            }
+            Err(cycle) => {
+                let witness = self.witness_from(&cycle);
+                self.rollback_step();
+                Err(witness)
+            }
+        }
+    }
+
+    /// Closure predecessors of the *pending* step: live columns (other
+    /// than the requester's) whose last live step is related before the
+    /// tentative row in the maintained closure. This is the §6
+    /// prevention probe — one O(1) frontier lookup per column — hoisted
+    /// into the engine so a sharded backend can answer it from the one
+    /// shard holding the candidate. Returned ascending by `TxnId` so the
+    /// answer is independent of column-creation order (and hence of shard
+    /// count).
+    pub fn pending_predecessors(&self) -> Vec<TxnId> {
+        assert!(self.tentative, "no pending step to probe");
+        let beta = self.steps.len() - 1;
+        let requester = self.step_txn[beta];
+        let mut preds: Vec<TxnId> = Vec::new();
+        for lt in 0..self.txns.len() {
+            if lt == requester {
+                continue;
+            }
+            let Some(&alpha) = self.txn_steps[lt].last() else {
+                continue;
+            };
+            // Stale column of a since-restarted transaction: its rows
+            // died with the rollback.
+            if self.dead[alpha] {
+                continue;
+            }
+            if self.related(alpha, beta) {
+                preds.push(self.txns[lt]);
+            }
+        }
+        preds.sort_unstable_by_key(|t| t.0);
+        preds
+    }
+
+    /// Applies the live-window eviction rule directly on the maintained
+    /// state: build the transaction-level pair summary of the live
+    /// frontier, forward-reach from every transaction `is_source` keeps
+    /// alive (the uncommitted ones, for the window), and
+    /// [`evict`](Self::evict) each live column that is neither a source
+    /// nor reached. Returns the evicted `TxnId`s. Sound by the same
+    /// argument as the window rule: once no live transaction reaches a
+    /// committed one in the closure, nothing ever will again.
+    pub fn evict_unreachable(&mut self, is_source: impl Fn(TxnId) -> bool) -> Vec<TxnId> {
+        assert!(!self.tentative, "resolve the pending step before eviction");
+        let tc = self.txns.len();
+        let mut live_col = vec![false; tc];
+        for (lt, col) in live_col.iter_mut().enumerate() {
+            *col = self.txn_steps[lt].iter().any(|&r| !self.dead[r]);
+        }
+        let mut pairs = PairSummary::new();
+        for v in 0..self.steps.len() {
+            if self.dead[v] {
+                continue;
+            }
+            let tv = self.step_txn[v];
+            for t in 0..tc {
+                // Columns without live rows are inert either way (their
+                // stale frontier entries are cleared on eviction and
+                // compacted on rebuild); skip them so the summary speaks
+                // only about window members.
+                if t != tv && live_col[t] && self.m[v][t] != NONE {
+                    pairs.add(self.txns[t].0, self.txns[tv].0);
+                }
+            }
+        }
+        let keep = pairs.reachable_from(
+            (0..tc)
+                .filter(|&lt| live_col[lt] && is_source(self.txns[lt]))
+                .map(|lt| self.txns[lt].0),
+        );
+        let mut evicted: Vec<TxnId> = Vec::new();
+        for lt in 0..tc {
+            let t = self.txns[lt];
+            if live_col[lt] && !is_source(t) && keep.binary_search(&t.0).is_err() {
+                evicted.push(t);
+            }
+        }
+        for &t in &evicted {
+            let lt = self.local[&t];
+            self.evict(lt);
+        }
+        evicted
     }
 
     /// Undoes the pending step by replaying the journal in reverse. The

@@ -63,6 +63,7 @@ pub mod extend;
 pub mod nest;
 pub mod relations;
 pub mod serializability;
+pub mod shard;
 pub mod spec;
 pub mod theorem;
 
@@ -72,5 +73,6 @@ pub use closure::CoherentClosure;
 pub use engine::{ClosureEngine, CycleWitness, EngineCounters};
 pub use extend::{extend_to_total_order, witness_execution};
 pub use nest::{Nest, NestBuilder};
+pub use shard::{EngineBackend, ShardedClosureEngine};
 pub use spec::{AtomicSpec, BreakpointSpecification, ExecContext, FixedSpec, FreeSpec};
 pub use theorem::{decide, is_correctable, Correctability};

@@ -1,0 +1,137 @@
+//! Transaction-pair summaries: the deduplicated transaction-level edge
+//! sets that closure-engine shards exchange and that window eviction
+//! forward-reaches over.
+//!
+//! A shard's maintained frontier induces a transaction-level relation
+//! ("some step of `u` precedes some step of `v`"). For eviction and for
+//! cross-shard aggregation only this summary matters, not the per-step
+//! frontier rows — so it is the unit shards hand across their boundary:
+//! each shard projects its frontier down to a [`PairSummary`], summaries
+//! [`merge`](PairSummary::merge) into the global transaction relation,
+//! and reachability over the merged summary equals reachability over the
+//! union of the per-shard closures (shards partition the entities, so
+//! every closure pair lives inside exactly one shard).
+
+use std::collections::HashMap;
+
+/// A deduplicated set of directed transaction pairs `u -> v` over stable
+/// `u32` transaction ids, with forward reachability.
+#[derive(Clone, Debug, Default)]
+pub struct PairSummary {
+    /// Successor lists in insertion order, deduplicated.
+    adj: HashMap<u32, Vec<u32>>,
+    edges: usize,
+}
+
+impl PairSummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        PairSummary::default()
+    }
+
+    /// Records the pair `u -> v` (self-pairs and duplicates are ignored).
+    pub fn add(&mut self, u: u32, v: u32) {
+        if u == v {
+            return;
+        }
+        let succ = self.adj.entry(u).or_default();
+        if !succ.contains(&v) {
+            succ.push(v);
+            self.edges += 1;
+        }
+    }
+
+    /// Folds another summary in (the cross-shard exchange step).
+    pub fn merge(&mut self, other: &PairSummary) {
+        for (&u, succ) in &other.adj {
+            for &v in succ {
+                self.add(u, v);
+            }
+        }
+    }
+
+    /// Successors of `u` recorded so far.
+    pub fn successors(&self, u: u32) -> &[u32] {
+        self.adj.get(&u).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct pairs recorded.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Everything forward-reachable from `sources` (sources included) —
+    /// the live-window "keep" set when sources are the uncommitted
+    /// transactions.
+    pub fn reachable_from(&self, sources: impl IntoIterator<Item = u32>) -> Vec<u32> {
+        let mut keep: Vec<u32> = Vec::new();
+        let mut stack: Vec<u32> = Vec::new();
+        for s in sources {
+            if !keep.contains(&s) {
+                keep.push(s);
+                stack.push(s);
+            }
+        }
+        while let Some(u) = stack.pop() {
+            for &v in self.successors(u) {
+                if !keep.contains(&v) {
+                    keep.push(v);
+                    stack.push(v);
+                }
+            }
+        }
+        keep.sort_unstable();
+        keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let mut s = PairSummary::new();
+        s.add(1, 2);
+        s.add(1, 2);
+        s.add(3, 3);
+        assert_eq!(s.edge_count(), 1);
+        assert_eq!(s.successors(1), &[2]);
+        assert!(s.successors(3).is_empty());
+    }
+
+    #[test]
+    fn merge_unions_edges() {
+        let mut a = PairSummary::new();
+        a.add(1, 2);
+        let mut b = PairSummary::new();
+        b.add(2, 3);
+        b.add(1, 2);
+        a.merge(&b);
+        assert_eq!(a.edge_count(), 2);
+        assert_eq!(a.reachable_from([1]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reachability_follows_direction() {
+        let mut s = PairSummary::new();
+        s.add(1, 2);
+        s.add(2, 4);
+        s.add(5, 1);
+        assert_eq!(s.reachable_from([1]), vec![1, 2, 4]);
+        assert_eq!(s.reachable_from([4]), vec![4]);
+        assert_eq!(s.reachable_from([5, 4]), vec![1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn disjoint_summaries_stay_disjoint_after_merge() {
+        // The sharding picture: two shards over disjoint transactions.
+        let mut a = PairSummary::new();
+        a.add(0, 2);
+        let mut b = PairSummary::new();
+        b.add(1, 3);
+        a.merge(&b);
+        assert_eq!(a.reachable_from([0]), vec![0, 2]);
+        assert_eq!(a.reachable_from([1]), vec![1, 3]);
+    }
+}

@@ -59,6 +59,16 @@ pub trait Control {
     fn decision_cost(&self) -> Option<EngineCounters> {
         None
     }
+
+    /// Per-shard decision-cost counters, one entry per closure-engine
+    /// shard, for controls running a sharded backend. The simulator
+    /// records the vector in [`crate::Metrics::shard_cost`] and reports
+    /// their *sum* as [`crate::Metrics::decision_cost`] — a single
+    /// shard's counters must never masquerade as the run total.
+    /// Unsharded and classical controls keep the default empty vector.
+    fn shard_decision_cost(&self) -> Vec<EngineCounters> {
+        Vec::new()
+    }
 }
 
 /// The trivial control: grants everything. Produces arbitrary

@@ -12,6 +12,9 @@
 //! * [`synthetic`] — parameterized nests (depth, fanout), transaction
 //!   length, Zipf-skewed entity selection, and per-level breakpoint
 //!   densities: the sweep axes of experiments E1–E3, E5, E8.
+//! * [`partitioned`] — independent entity universes with long-lived
+//!   scanners pinning each universe's live window: the A5 stress case
+//!   for the entity-sharded closure engine.
 //!
 //! Every generator produces a [`Workload`]: nest + programs + runtime
 //! breakpoints + initial values + arrival times, from which fresh
@@ -24,6 +27,7 @@
 pub mod banking;
 pub mod banking_escrow;
 pub mod cad;
+pub mod partitioned;
 pub mod synthetic;
 pub mod util;
 

@@ -10,7 +10,9 @@
 //! scratch. The grant/deny verdicts must agree step by step — that is
 //! the closure's partial-order check in both forms. Random aborts
 //! (cycle victims and spontaneous ones) exercise the engine's
-//! rebuild-on-shrink path mid-run; after each run the engine's
+//! rebuild-on-shrink path mid-run, and random in-schedule window
+//! evictions and `flush_rebuild` calls exercise the scheduler's
+//! maintenance paths between decisions; after each run the engine's
 //! maintained relation is compared pairwise against the batch closure
 //! of the surviving execution.
 
@@ -82,12 +84,28 @@ proptest! {
         let mut next_seq = vec![0u32; n];
         let mut alive = vec![true; n];
 
+        let finished = |next_seq: &[u32], t: usize| next_seq[t] as usize >= setup.scripts[t].len();
+
         loop {
             let runnable: Vec<usize> = (0..n)
-                .filter(|&t| alive[t] && (next_seq[t] as usize) < setup.scripts[t].len())
+                .filter(|&t| alive[t] && !finished(&next_seq, t))
                 .collect();
             if runnable.is_empty() {
                 break;
+            }
+            // In-schedule maintenance probes, at random frequency.
+            // Eviction treats finished-and-alive transactions as
+            // committed (the scheduler's rule): sources are the
+            // still-running ones; evicting mid-run must not change any
+            // later verdict relative to the shrunken window.
+            if rng.gen_bool(0.10) {
+                let evicted = engine
+                    .evict_unreachable(|t| alive[t.index()] && !finished(&next_seq, t.index()));
+                accepted.retain(|s| !evicted.contains(&s.txn));
+            }
+            // A rebuild between decisions must be semantically invisible.
+            if rng.gen_bool(0.08) {
+                engine.flush_rebuild();
             }
             let t = runnable[rng.gen_range(0..runnable.len())];
             // Occasionally abort a transaction with history outright,

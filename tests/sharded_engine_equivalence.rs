@@ -1,0 +1,242 @@
+//! The differential harness for the entity-sharded closure engine: five
+//! backends — the unsharded [`ClosureEngine`] and
+//! [`ShardedClosureEngine`]s at 1, 2, 4, and 8 shards — are driven in
+//! lockstep through random schedules and must be observationally
+//! indistinguishable.
+//!
+//! Each case builds a random k-nest, breakpoint specification, and
+//! entity scripts (entities span several shard residues, so every shard
+//! count sees genuine splits *and* cross-shard transactions that force
+//! group coalescing), then offers steps in a random interleaving. On
+//! every offer the batch [`CoherentClosure`] of the current window plus
+//! the candidate is the ground truth; all five backends must return the
+//! same grant/deny verdict. Denials abort the *requester* on every
+//! backend — a deterministic victim rule, because cycle-witness paths
+//! (and hence witness-derived victim choices) are only guaranteed
+//! identical up to compaction-rebuild timing, which legitimately differs
+//! between a global engine and its shard groups.
+//!
+//! Between offers the harness randomly fires the two maintenance paths
+//! the schedulers use: window eviction (all backends must evict the
+//! same transactions — the sharded engine's touched-group projection
+//! must match the global scan no matter how rarely it runs) and
+//! `flush_rebuild` (rebuilds must be semantically invisible). At the
+//! end, every backend's surviving execution must equal the accepted
+//! window byte for byte, and the maintained relation is compared
+//! pairwise across all backends and against the batch closure of that
+//! window.
+
+use std::sync::Arc;
+
+use multilevel_atomicity::core::closure::CoherentClosure;
+use multilevel_atomicity::core::nest::Nest;
+use multilevel_atomicity::core::spec::ExecContext;
+use multilevel_atomicity::core::EngineBackend;
+use multilevel_atomicity::model::{EntityId, Execution, Step, TxnId};
+use multilevel_atomicity::txn::{PhaseTable, RuntimeBreakpoints, RuntimeSpec};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SHARD_COUNTS: [usize; 5] = [0, 1, 2, 4, 8]; // 0 = unsharded
+
+struct Setup {
+    nest: Nest,
+    spec: RuntimeSpec,
+    scripts: Vec<Vec<EntityId>>,
+}
+
+/// A random nest shape, breakpoint specification, and script set. The
+/// entity range (0..8) covers every residue class of the largest shard
+/// count, and scripts hop residues freely, so coalescing is common.
+fn random_setup(rng: &mut SmallRng) -> Setup {
+    let k = rng.gen_range(2..=4usize);
+    let n = rng.gen_range(2..=6usize);
+    let paths: Vec<Vec<u32>> = (0..n)
+        .map(|_| {
+            (0..k.saturating_sub(2))
+                .map(|_| rng.gen_range(0..3u32))
+                .collect()
+        })
+        .collect();
+    let nest = Nest::new(k, paths).expect("generated paths have depth k-2");
+    let mut spec = RuntimeSpec::new(k);
+    let mut scripts = Vec::new();
+    for t in 0..n {
+        let len = rng.gen_range(1..=5usize);
+        let script: Vec<EntityId> = (0..len).map(|_| EntityId(rng.gen_range(0..8u32))).collect();
+        let mut marks: Vec<(usize, usize)> = Vec::new();
+        for pos in 1..len {
+            if k > 2 && rng.gen_bool(0.4) {
+                marks.push((pos, rng.gen_range(2..k)));
+            }
+        }
+        let bp: Arc<dyn RuntimeBreakpoints> = Arc::new(PhaseTable::new(k, marks));
+        spec.insert(TxnId(t as u32), bp);
+        scripts.push(script);
+    }
+    Setup {
+        nest,
+        spec,
+        scripts,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sharded_backends_are_indistinguishable(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let setup = random_setup(&mut rng);
+        let n = setup.scripts.len();
+        let mut backends: Vec<EngineBackend<RuntimeSpec>> = SHARD_COUNTS
+            .iter()
+            .map(|&s| EngineBackend::with_shards(setup.nest.clone(), setup.spec.clone(), s))
+            .collect();
+        let mut accepted: Vec<Step> = Vec::new();
+        let mut next_seq = vec![0u32; n];
+        let mut alive = vec![true; n];
+
+        let finished = |next_seq: &[u32], t: usize| next_seq[t] as usize >= setup.scripts[t].len();
+
+        loop {
+            let runnable: Vec<usize> = (0..n)
+                .filter(|&t| alive[t] && !finished(&next_seq, t))
+                .collect();
+            if runnable.is_empty() {
+                break;
+            }
+
+            // Maintenance probes, at random frequency. Eviction treats
+            // finished-and-alive transactions as committed (the
+            // scheduler's rule): sources are the still-running ones.
+            if rng.gen_bool(0.10) {
+                let mut evictions: Vec<Vec<TxnId>> = Vec::new();
+                for b in backends.iter_mut() {
+                    let is_source =
+                        |t: TxnId| alive[t.index()] && !finished(&next_seq, t.index());
+                    evictions.push(b.evict_unreachable(is_source));
+                }
+                for e in &evictions[1..] {
+                    prop_assert_eq!(
+                        e, &evictions[0],
+                        "eviction sets diverged across backends (seed {})", seed
+                    );
+                }
+                accepted.retain(|s| !evictions[0].contains(&s.txn));
+            }
+            if rng.gen_bool(0.08) {
+                for b in backends.iter_mut() {
+                    b.flush_rebuild();
+                }
+            }
+
+            let t = runnable[rng.gen_range(0..runnable.len())];
+            // Spontaneous aborts exercise rebuild-on-shrink mid-run.
+            if accepted.iter().any(|s| s.txn.0 == t as u32) && rng.gen_bool(0.06) {
+                alive[t] = false;
+                for b in backends.iter_mut() {
+                    b.remove_txn(TxnId(t as u32));
+                }
+                accepted.retain(|s| s.txn.0 != t as u32);
+                continue;
+            }
+            let candidate = Step {
+                txn: TxnId(t as u32),
+                seq: next_seq[t],
+                entity: setup.scripts[t][next_seq[t] as usize],
+                observed: 0,
+                wrote: 0,
+            };
+            // Batch ground truth: closure of the current window + candidate.
+            let mut steps = accepted.clone();
+            steps.push(candidate);
+            let exec = Execution::new(steps).expect("per-txn seqs stay contiguous");
+            let ctx = ExecContext::new(&exec, &setup.nest, &setup.spec)
+                .expect("execution matches nest and spec");
+            let batch_ok = CoherentClosure::compute(&ctx).is_partial_order();
+
+            let mut granted = 0usize;
+            for (i, b) in backends.iter_mut().enumerate() {
+                match b.apply_step(candidate) {
+                    Ok(()) => {
+                        prop_assert!(
+                            batch_ok,
+                            "backend {} granted what batch denies (seed {})",
+                            SHARD_COUNTS[i], seed
+                        );
+                        b.commit_step();
+                        granted += 1;
+                    }
+                    Err(witness) => {
+                        prop_assert!(
+                            !batch_ok,
+                            "backend {} denied what batch grants (seed {})",
+                            SHARD_COUNTS[i], seed
+                        );
+                        // Witness *paths* are only identical up to
+                        // compaction timing, so assert presence, not
+                        // content, and abort the requester deterministically.
+                        prop_assert!(!witness.txns.is_empty());
+                    }
+                }
+            }
+            if granted > 0 {
+                prop_assert_eq!(granted, backends.len());
+                accepted.push(candidate);
+                next_seq[t] += 1;
+            } else {
+                // Deterministic victim: abort the requester everywhere.
+                alive[t] = false;
+                for b in backends.iter_mut() {
+                    b.remove_txn(TxnId(t as u32));
+                }
+                accepted.retain(|s| s.txn.0 != t as u32);
+            }
+        }
+
+        // Final state: every backend holds exactly the accepted window,
+        // and the maintained relations agree pairwise — with each other
+        // and with the batch closure of that window.
+        for b in backends.iter_mut() {
+            b.flush_rebuild();
+        }
+        for (i, b) in backends.iter().enumerate() {
+            let survived = b.execution();
+            prop_assert_eq!(
+                survived.steps(),
+                accepted.as_slice(),
+                "backend {} window diverged (seed {})",
+                SHARD_COUNTS[i],
+                seed
+            );
+        }
+        if !accepted.is_empty() {
+            let survived = backends[0].execution();
+            let ctx = ExecContext::new(&survived, &setup.nest, &setup.spec)
+                .expect("surviving execution matches nest and spec");
+            let closure = CoherentClosure::compute(&ctx);
+            prop_assert!(closure.is_partial_order(), "granted history stayed acyclic");
+            let key = |i: usize| -> (TxnId, u32) {
+                (ctx.txn_id(ctx.txn_of(i)), ctx.seq_of(i) as u32)
+            };
+            for u in 0..ctx.n() {
+                for v in 0..ctx.n() {
+                    if u == v {
+                        continue;
+                    }
+                    let want = closure.related(&ctx, u, v);
+                    for (i, b) in backends.iter().enumerate() {
+                        prop_assert_eq!(
+                            want,
+                            b.related_steps(key(u), key(v)),
+                            "pair ({}, {}) disagrees on backend {} (seed {})",
+                            u, v, SHARD_COUNTS[i], seed
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
