@@ -1,0 +1,276 @@
+//! A6 — thread-parallel shard-group decisions.
+//!
+//! A5 established that sharding the closure engine by entity partition
+//! confines each decision's work to the candidate's own universe. A6
+//! asks what the worker pool adds on top: the same partitioned scanner
+//! stream is decided through [`EngineBackend`] variants directly —
+//! serial unsharded, serial sharded, and the thread-parallel backend
+//! across a worker-count × shard-count grid — and decision wall-clock is
+//! compared without simulator overhead between offers.
+//!
+//! The replay input is the workload's canonical
+//! [`decision_stream`](mla_workload::partitioned::decision_stream):
+//! round-robin offers that every backend must fully grant, so histories
+//! are asserted byte-identical to the stream itself in every cell and
+//! only cost may move. Verdict order is fixed by the sequencer's stamp
+//! order (see DESIGN.md), so the parallel cells are bit-for-bit
+//! reproducible however the pool schedules.
+//!
+//! The headline speedup column is measured against the **serial
+//! unsharded** baseline, the same convention as A5's `none` row: it is
+//! the product of the sharding effect (window confinement) and the
+//! pool effect (concurrent group application). The pure threading
+//! effect — parallel versus serial sharded at equal shard count — is
+//! reported in `vs-shard` and only *asserted* when the host actually
+//! has ≥ 4 hardware threads; on a single-core host the pool can at
+//! best break even and the column is informational.
+//!
+//! Two trailing `sim/…` rows run the full simulator with the
+//! [`ControlKind::MlaDetectParallel`] knob to pin the scheduler-level
+//! integration: identical histories and decision counters to the serial
+//! sharded control, occupancy and barrier stalls reported through
+//! [`Metrics::parallel`](mla_sim::Metrics).
+
+use std::time::Instant;
+
+use mla_cc::VictimPolicy;
+use mla_core::EngineBackend;
+use mla_model::Step;
+use mla_txn::RuntimeSpec;
+use mla_workload::partitioned::{decision_stream, generate, PartitionedConfig};
+use mla_workload::Workload;
+
+use crate::runner::{run_cell, ControlKind};
+use crate::table::{f2, Table};
+
+/// Decides the whole stream through `backend`, asserting every offer
+/// grants and the maintained history reproduces the stream byte for
+/// byte. Returns decision wall-clock seconds.
+fn replay(backend: &mut EngineBackend<RuntimeSpec>, stream: &[Step]) -> f64 {
+    let started = Instant::now();
+    let verdicts = backend.decide_batch(stream);
+    let wall = started.elapsed().as_secs_f64();
+    assert_eq!(verdicts.len(), stream.len());
+    for (i, v) in verdicts.iter().enumerate() {
+        assert!(v.is_ok(), "offer {i} denied on the conflict-chain stream");
+    }
+    assert_eq!(
+        backend.execution().steps(),
+        stream,
+        "replay history diverged from the offered stream"
+    );
+    wall
+}
+
+fn backend_row(
+    table: &mut Table,
+    label_shards: String,
+    label_workers: String,
+    wall: f64,
+    base_wall: f64,
+    shard_wall: Option<f64>,
+    backend: &EngineBackend<RuntimeSpec>,
+) -> f64 {
+    let speedup = if wall > 0.0 { base_wall / wall } else { 0.0 };
+    let vs_shard = match shard_wall {
+        Some(s) if wall > 0.0 => f2(s / wall),
+        _ => "-".to_string(),
+    };
+    let (occ, stalls) = match backend.parallel_stats() {
+        Some(stats) => (f2(stats.mean_occupancy()), stats.barrier_stalls.to_string()),
+        None => ("-".to_string(), "0".to_string()),
+    };
+    table.row(vec![
+        label_shards,
+        label_workers,
+        f2(wall * 1e3),
+        f2(speedup),
+        vs_shard,
+        occ,
+        backend.merge_count().to_string(),
+        stalls,
+        "yes".to_string(),
+    ]);
+    speedup
+}
+
+/// The simulator-level integration rows: the parallel knob on
+/// `MlaDetect` must change nothing but wall-clock and pool statistics.
+fn sim_rows(table: &mut Table, wl: &Workload) {
+    let policy = VictimPolicy::FewestSteps;
+    let seed = 0xA6;
+    let serial = run_cell(wl, ControlKind::MlaDetectSharded(policy, 4), seed);
+    let cell = run_cell(wl, ControlKind::MlaDetectParallel(policy, 4, 2), seed);
+    assert_eq!(
+        cell.outcome.execution, serial.outcome.execution,
+        "parallel control history diverged from the serial sharded run"
+    );
+    let sm = &serial.outcome.metrics;
+    let m = &cell.outcome.metrics;
+    assert_eq!(m.aborts, 0);
+    assert_eq!(m.committed, sm.committed);
+    assert_eq!(m.decision_cost, sm.decision_cost);
+    assert_eq!(m.shard_cost, sm.shard_cost);
+    let stats = m
+        .parallel
+        .as_ref()
+        .expect("the parallel control must report pool statistics");
+    assert_eq!(stats.workers, 2);
+    assert!(sm.parallel.is_none());
+    for (label, cell, base, stats) in [
+        ("sim/4", &serial, None, None),
+        ("sim/4", &cell, Some(serial.wall_seconds), Some(stats)),
+    ] {
+        table.row(vec![
+            label.to_string(),
+            stats.map(|s| s.workers).unwrap_or(0).to_string(),
+            f2(cell.wall_seconds * 1e3),
+            "-".to_string(),
+            match base {
+                Some(b) if cell.wall_seconds > 0.0 => f2(b / cell.wall_seconds),
+                _ => "-".to_string(),
+            },
+            stats
+                .map(|s| f2(s.mean_occupancy()))
+                .unwrap_or_else(|| "-".to_string()),
+            (4 - cell.outcome.metrics.shard_cost.len() as u64).to_string(),
+            stats
+                .map(|s| s.barrier_stalls.to_string())
+                .unwrap_or_else(|| "0".to_string()),
+            "yes".to_string(),
+        ]);
+    }
+}
+
+/// Runs A6.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "A6: thread-parallel shard-group decisions (replayed scanner stream)",
+        &[
+            "shards",
+            "workers",
+            "wall-ms",
+            "speedup",
+            "vs-shard",
+            "mean-occ",
+            "merges",
+            "stalls",
+            "same-history",
+        ],
+    );
+    let config = if quick {
+        PartitionedConfig {
+            partitions: 4,
+            txns_per_partition: 20,
+            scanner_len: 20,
+            arrival_spacing: 2,
+        }
+    } else {
+        PartitionedConfig::default()
+    };
+    let generated = generate(config.clone());
+    let wl = &generated.workload;
+    let stream = decision_stream(&config);
+
+    // Serial unsharded baseline — A5's `none` row convention.
+    let mut base = EngineBackend::unsharded(wl.nest.clone(), wl.spec());
+    let base_wall = replay(&mut base, &stream);
+    backend_row(
+        &mut table,
+        "none".to_string(),
+        "0".to_string(),
+        base_wall,
+        base_wall,
+        None,
+        &base,
+    );
+
+    let four_threads = std::thread::available_parallelism()
+        .map(|n| n.get() >= 4)
+        .unwrap_or(false);
+    let mut speedup_at_4x4 = 0.0;
+    for shards in [4usize, 8] {
+        let mut serial = EngineBackend::with_shards(wl.nest.clone(), wl.spec(), shards);
+        let serial_wall = replay(&mut serial, &stream);
+        backend_row(
+            &mut table,
+            shards.to_string(),
+            "0".to_string(),
+            serial_wall,
+            base_wall,
+            None,
+            &serial,
+        );
+        for workers in [1usize, 2, 4] {
+            let mut backend =
+                EngineBackend::with_parallelism(wl.nest.clone(), wl.spec(), shards, workers);
+            let wall = replay(&mut backend, &stream);
+            // No offer is denied, so the pool sees exactly the serial
+            // merge sequence: group structure must agree.
+            assert_eq!(
+                backend.merge_count(),
+                serial.merge_count(),
+                "parallel coalescing diverged at {shards} shards"
+            );
+            let speedup = backend_row(
+                &mut table,
+                shards.to_string(),
+                workers.to_string(),
+                wall,
+                base_wall,
+                Some(serial_wall),
+                &backend,
+            );
+            if shards == 4 && workers == 4 {
+                speedup_at_4x4 = speedup;
+                if four_threads && !quick {
+                    assert!(
+                        wall < serial_wall * 1.2,
+                        "4 workers on 4 hardware threads must not lose to the \
+                         serial sharded engine ({wall:.4}s vs {serial_wall:.4}s)"
+                    );
+                }
+            }
+        }
+    }
+    if !quick {
+        assert!(
+            speedup_at_4x4 >= 1.5,
+            "4 shards × 4 workers must beat serial unsharded decisions by \
+             1.5x on the partitioned workload (got {speedup_at_4x4:.2}x)"
+        );
+    }
+
+    sim_rows(&mut table, wl);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a6_histories_invariant_across_pool_shapes() {
+        let t = run(true);
+        // 1 baseline + 2 shard counts × (1 serial + 3 pool shapes) + 2
+        // simulator rows.
+        assert_eq!(t.len(), 11);
+        for r in 0..t.len() {
+            assert_eq!(t.cell(r, 8), "yes", "row {r}");
+        }
+        // The 8-shard cells must have coalesced (8 shards over 4
+        // universes), identically in serial and parallel rows.
+        let serial_merges = t.cell(5, 6).to_string();
+        assert!(serial_merges.parse::<u64>().unwrap() > 0);
+        for r in 6..9 {
+            assert_eq!(t.cell(r, 6), serial_merges, "row {r}");
+        }
+        // Parallel rows report pool statistics, serial rows do not.
+        assert_eq!(t.cell(1, 5), "-");
+        assert_ne!(t.cell(2, 5), "-");
+        // Barrier stalls equal merges on every parallel replay row.
+        for r in [2usize, 3, 4, 6, 7, 8] {
+            assert_eq!(t.cell(r, 7), t.cell(r, 6), "row {r}");
+        }
+    }
+}

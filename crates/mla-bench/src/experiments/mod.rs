@@ -5,6 +5,7 @@ pub mod a2;
 pub mod a3;
 pub mod a4;
 pub mod a5;
+pub mod a6;
 pub mod e1;
 pub mod e10;
 pub mod e11;
@@ -83,6 +84,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e13::run(quick),
         a4::run(quick),
         a5::run(quick),
+        a6::run(quick),
         a2::run(quick),
         a3::run(quick),
     ]

@@ -25,7 +25,7 @@
 //! projection. Decision for decision the two backends are equivalent —
 //! `tests/sharded_engine_equivalence.rs` is the differential oracle.
 
-use mla_core::{EngineBackend, EngineCounters};
+use mla_core::{EngineBackend, EngineCounters, ParallelStats};
 use mla_model::TxnId;
 use mla_sim::{Control, Decision, TxnStatus, World};
 use mla_storage::StepRecord;
@@ -42,6 +42,8 @@ pub struct MlaDetect {
     engine: Option<EngineBackend<RuntimeSpec>>,
     /// Entity partitions for the closure backend (0 = unsharded).
     shards: usize,
+    /// Worker threads for the closure backend (0 = serial).
+    workers: usize,
     window: LiveWindow,
     policy: VictimPolicy,
     /// A1 ablation: force a from-scratch closure rebuild before every
@@ -84,6 +86,27 @@ impl MlaDetect {
         self
     }
 
+    /// Runs the sharded closure backend on a pool of `workers` threads
+    /// (`workers == 0` keeps the serial engine). Requires a sharded
+    /// backend (`with_shards(n)` with `n >= 1`); decisions, histories,
+    /// and counters are unchanged — only wall-clock and the
+    /// [`parallel_stats`](Self::parallel_stats) occupancy move
+    /// (experiment A6).
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        assert!(
+            self.engine.is_none(),
+            "set parallelism before the first decision"
+        );
+        self.workers = workers;
+        self
+    }
+
+    /// Worker-pool occupancy and barrier statistics, when the backend is
+    /// parallel.
+    pub fn parallel_stats(&self) -> Option<ParallelStats> {
+        self.engine.as_ref().and_then(|e| e.parallel_stats())
+    }
+
     /// How many committed transactions the window has evicted so far.
     pub fn evicted_count(&self) -> usize {
         self.window.evicted_count()
@@ -111,6 +134,7 @@ impl MlaDetect {
             spec,
             engine: None,
             shards: 0,
+            workers: 0,
             window: LiveWindow::new(),
             policy,
             full_rebuild: false,
@@ -128,10 +152,11 @@ impl Control for MlaDetect {
     fn decide(&mut self, txn: TxnId, world: &World) -> Decision {
         let candidate = LiveWindow::candidate_step(world, txn);
         if self.engine.is_none() {
-            self.engine = Some(EngineBackend::with_shards(
+            self.engine = Some(EngineBackend::with_parallelism(
                 world.nest.clone(),
                 self.spec.clone(),
                 self.shards,
+                self.workers,
             ));
         }
         let engine = self.engine.as_mut().expect("just initialised");
@@ -195,6 +220,10 @@ impl Control for MlaDetect {
             .as_ref()
             .map(|e| e.shard_counters())
             .unwrap_or_default()
+    }
+
+    fn parallel_stats(&self) -> Option<ParallelStats> {
+        MlaDetect::parallel_stats(self)
     }
 }
 
@@ -489,6 +518,59 @@ mod tests {
                 .copied()
                 .sum::<EngineCounters>(),
             out.metrics.decision_cost,
+        );
+    }
+
+    #[test]
+    fn parallel_backend_decides_identically_with_stats() {
+        // The full contended banking workload through the serial sharded
+        // backend and the thread-parallel one: byte-identical histories
+        // and counters, plus occupancy/barrier stats from the pool.
+        let (nest, instances, spec, initial) = banking_setup(8, 4);
+        let arrivals = vec![0u64; instances.len()];
+        let mut serial = MlaDetect::new(spec.clone(), VictimPolicy::FewestSteps).with_shards(4);
+        let out_serial = run(
+            nest.clone(),
+            instances,
+            initial.clone(),
+            &arrivals,
+            &SimConfig::seeded(21),
+            &mut serial,
+        );
+        let (_, instances, _, _) = banking_setup(8, 4);
+        let mut parallel = MlaDetect::new(spec.clone(), VictimPolicy::FewestSteps)
+            .with_shards(4)
+            .with_parallelism(2);
+        let out_parallel = run(
+            nest.clone(),
+            instances,
+            initial,
+            &arrivals,
+            &SimConfig::seeded(21),
+            &mut parallel,
+        );
+        assert_eq!(
+            out_serial.execution.steps(),
+            out_parallel.execution.steps(),
+            "parallel backend must be decision-for-decision identical"
+        );
+        assert_eq!(out_serial.metrics.committed, out_parallel.metrics.committed);
+        assert_eq!(out_serial.metrics.aborts, out_parallel.metrics.aborts);
+        assert_eq!(serial.cost(), parallel.cost());
+        assert_eq!(serial.merge_count(), parallel.merge_count());
+        assert!(oracle::is_correctable_outcome(&out_parallel, &nest, &spec));
+        let stats = parallel.parallel_stats().expect("parallel backend");
+        assert_eq!(stats.workers, 2);
+        assert_eq!(
+            stats.barrier_stalls,
+            parallel.merge_count(),
+            "one barrier per coalescence"
+        );
+        assert!(serial.parallel_stats().is_none());
+        // The simulator surfaced the same stats in the run metrics.
+        assert_eq!(
+            out_parallel.metrics.parallel.as_ref().map(|s| s.workers),
+            Some(2)
         );
     }
 

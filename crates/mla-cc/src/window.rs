@@ -158,7 +158,7 @@ impl LiveWindow {
     /// [`EngineBackend`]: the unsharded engine does the global scan, the
     /// sharded one projects only the shard groups whose state changed
     /// since the last maintenance pass — same evictions either way.
-    pub fn maintain_with_backend<S: BreakpointSpecification + Clone>(
+    pub fn maintain_with_backend<S: BreakpointSpecification + Clone + Send + 'static>(
         &mut self,
         backend: &mut EngineBackend<S>,
         world: &World,

@@ -61,6 +61,7 @@ pub mod closure;
 pub mod engine;
 pub mod extend;
 pub mod nest;
+pub mod parallel;
 pub mod relations;
 pub mod serializability;
 pub mod shard;
@@ -73,6 +74,7 @@ pub use closure::CoherentClosure;
 pub use engine::{ClosureEngine, CycleWitness, EngineCounters};
 pub use extend::{extend_to_total_order, witness_execution};
 pub use nest::{Nest, NestBuilder};
+pub use parallel::{ParallelShardedEngine, ParallelStats};
 pub use shard::{EngineBackend, ShardedClosureEngine};
 pub use spec::{AtomicSpec, BreakpointSpecification, ExecContext, FixedSpec, FreeSpec};
 pub use theorem::{decide, is_correctable, Correctability};

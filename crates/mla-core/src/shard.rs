@@ -58,6 +58,7 @@ use mla_model::{Execution, Step, TxnId};
 
 use crate::engine::{ClosureEngine, CycleWitness, EngineCounters};
 use crate::nest::Nest;
+use crate::parallel::{ParallelShardedEngine, ParallelStats};
 use crate::spec::BreakpointSpecification;
 
 /// One shard group: a partition-local engine plus its ordered mailbox.
@@ -433,9 +434,12 @@ pub enum EngineBackend<S> {
     Unsharded(ClosureEngine<S>),
     /// The entity-partitioned engine.
     Sharded(ShardedClosureEngine<S>),
+    /// The entity-partitioned engine with its groups spread across a
+    /// worker-thread pool (see [`crate::parallel`]).
+    Parallel(ParallelShardedEngine<S>),
 }
 
-impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
+impl<S: BreakpointSpecification + Clone + Send + 'static> EngineBackend<S> {
     /// An unsharded backend.
     pub fn unsharded(nest: Nest, spec: S) -> Self {
         EngineBackend::Unsharded(ClosureEngine::new(nest, spec))
@@ -444,6 +448,12 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
     /// A backend with `shards` entity partitions.
     pub fn sharded(nest: Nest, spec: S, shards: usize) -> Self {
         EngineBackend::Sharded(ShardedClosureEngine::new(nest, spec, shards))
+    }
+
+    /// A thread-parallel backend with `shards` entity partitions spread
+    /// over `workers` threads.
+    pub fn parallel(nest: Nest, spec: S, shards: usize, workers: usize) -> Self {
+        EngineBackend::Parallel(ParallelShardedEngine::new(nest, spec, shards, workers))
     }
 
     /// `shards == 0` selects the unsharded engine, otherwise the sharded
@@ -456,11 +466,41 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
         }
     }
 
+    /// The full runtime knob: `workers == 0` selects the serial engine
+    /// chosen by [`with_shards`](Self::with_shards); `workers >= 1`
+    /// selects the thread-parallel engine (which requires `shards >= 1`).
+    pub fn with_parallelism(nest: Nest, spec: S, shards: usize, workers: usize) -> Self {
+        if workers == 0 {
+            Self::with_shards(nest, spec, shards)
+        } else {
+            assert!(shards >= 1, "a parallel backend needs at least one shard");
+            Self::parallel(nest, spec, shards, workers)
+        }
+    }
+
     /// Shard count (0 for the unsharded engine).
     pub fn shards(&self) -> usize {
         match self {
             EngineBackend::Unsharded(_) => 0,
             EngineBackend::Sharded(e) => e.shards(),
+            EngineBackend::Parallel(e) => e.shards(),
+        }
+    }
+
+    /// Worker threads (0 for the serial backends).
+    pub fn workers(&self) -> usize {
+        match self {
+            EngineBackend::Parallel(e) => e.workers(),
+            _ => 0,
+        }
+    }
+
+    /// Worker-pool occupancy and barrier statistics (`None` for the
+    /// serial backends).
+    pub fn parallel_stats(&self) -> Option<ParallelStats> {
+        match self {
+            EngineBackend::Parallel(e) => Some(e.stats()),
+            _ => None,
         }
     }
 
@@ -469,6 +509,7 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
         match self {
             EngineBackend::Unsharded(e) => e.apply_step(step),
             EngineBackend::Sharded(e) => e.apply_step(step),
+            EngineBackend::Parallel(e) => e.apply_step(step),
         }
     }
 
@@ -477,6 +518,7 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
         match self {
             EngineBackend::Unsharded(e) => e.commit_step(),
             EngineBackend::Sharded(e) => e.commit_step(),
+            EngineBackend::Parallel(e) => e.commit_step(),
         }
     }
 
@@ -485,6 +527,7 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
         match self {
             EngineBackend::Unsharded(e) => e.rollback_step(),
             EngineBackend::Sharded(e) => e.rollback_step(),
+            EngineBackend::Parallel(e) => e.rollback_step(),
         }
     }
 
@@ -493,7 +536,41 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
         match self {
             EngineBackend::Unsharded(e) => e.pending(),
             EngineBackend::Sharded(e) => e.pending(),
+            EngineBackend::Parallel(e) => e.pending(),
         }
+    }
+
+    /// Decides a whole stream under the batch poison rule: grants
+    /// auto-commit; a denial poisons its transaction for the rest of the
+    /// batch (later steps are denied with the same witness, never
+    /// applied — the transaction's `seq` chain is broken anyway). The
+    /// serial backends run the reference loop below; the parallel
+    /// backend pipelines it across its workers
+    /// ([`ParallelShardedEngine::decide_batch`]) with identical
+    /// observable behavior.
+    pub fn decide_batch(&mut self, steps: &[Step]) -> Vec<Result<(), CycleWitness>> {
+        if let EngineBackend::Parallel(e) = self {
+            return e.decide_batch(steps);
+        }
+        let mut poisoned: HashMap<TxnId, CycleWitness> = HashMap::new();
+        let mut verdicts = Vec::with_capacity(steps.len());
+        for &step in steps {
+            if let Some(w) = poisoned.get(&step.txn) {
+                verdicts.push(Err(w.clone()));
+                continue;
+            }
+            match self.apply_step(step) {
+                Ok(()) => {
+                    self.commit_step();
+                    verdicts.push(Ok(()));
+                }
+                Err(w) => {
+                    poisoned.insert(step.txn, w.clone());
+                    verdicts.push(Err(w));
+                }
+            }
+        }
+        verdicts
     }
 
     /// See [`ClosureEngine::performed`].
@@ -501,6 +578,7 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
         match self {
             EngineBackend::Unsharded(e) => e.performed(step),
             EngineBackend::Sharded(e) => e.performed(step),
+            EngineBackend::Parallel(e) => e.performed(step),
         }
     }
 
@@ -509,6 +587,7 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
         match self {
             EngineBackend::Unsharded(e) => e.remove_txn(t),
             EngineBackend::Sharded(e) => e.remove_txn(t),
+            EngineBackend::Parallel(e) => e.remove_txn(t),
         }
     }
 
@@ -522,6 +601,7 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
                 out
             }
             EngineBackend::Sharded(e) => e.evict_unreachable(is_source),
+            EngineBackend::Parallel(e) => e.evict_unreachable(is_source),
         }
     }
 
@@ -530,6 +610,7 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
         match self {
             EngineBackend::Unsharded(e) => e.pending_predecessors(),
             EngineBackend::Sharded(e) => e.pending_predecessors(),
+            EngineBackend::Parallel(e) => e.pending_predecessors(),
         }
     }
 
@@ -538,6 +619,7 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
         match self {
             EngineBackend::Unsharded(e) => e.force_rebuild(),
             EngineBackend::Sharded(e) => e.force_rebuild(),
+            EngineBackend::Parallel(e) => e.force_rebuild(),
         }
     }
 
@@ -546,6 +628,7 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
         match self {
             EngineBackend::Unsharded(e) => e.flush_rebuild(),
             EngineBackend::Sharded(e) => e.flush_rebuild(),
+            EngineBackend::Parallel(e) => e.flush_rebuild(),
         }
     }
 
@@ -554,6 +637,7 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
         match self {
             EngineBackend::Unsharded(e) => e.rebuild_pending(),
             EngineBackend::Sharded(e) => e.rebuild_pending(),
+            EngineBackend::Parallel(e) => e.rebuild_pending(),
         }
     }
 
@@ -562,6 +646,7 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
         match self {
             EngineBackend::Unsharded(e) => e.live_count(),
             EngineBackend::Sharded(e) => e.live_count(),
+            EngineBackend::Parallel(e) => e.live_count(),
         }
     }
 
@@ -570,6 +655,7 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
         match self {
             EngineBackend::Unsharded(e) => *e.counters(),
             EngineBackend::Sharded(e) => e.counters(),
+            EngineBackend::Parallel(e) => e.counters(),
         }
     }
 
@@ -580,6 +666,7 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
         match self {
             EngineBackend::Unsharded(e) => vec![*e.counters()],
             EngineBackend::Sharded(e) => e.shard_counters(),
+            EngineBackend::Parallel(e) => e.shard_counters(),
         }
     }
 
@@ -588,6 +675,7 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
         match self {
             EngineBackend::Unsharded(_) => 0,
             EngineBackend::Sharded(e) => e.merge_count(),
+            EngineBackend::Parallel(e) => e.merge_count(),
         }
     }
 
@@ -596,6 +684,7 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
         match self {
             EngineBackend::Unsharded(e) => e.execution(),
             EngineBackend::Sharded(e) => e.execution(),
+            EngineBackend::Parallel(e) => e.execution(),
         }
     }
 
@@ -615,6 +704,7 @@ impl<S: BreakpointSpecification + Clone> EngineBackend<S> {
                 }
             }
             EngineBackend::Sharded(e) => e.related_steps(u, v),
+            EngineBackend::Parallel(e) => e.related_steps(u, v),
         }
     }
 }

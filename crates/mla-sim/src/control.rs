@@ -1,6 +1,6 @@
 //! The concurrency-control interface plugged into every processor.
 
-use mla_core::EngineCounters;
+use mla_core::{EngineCounters, ParallelStats};
 use mla_model::TxnId;
 use mla_storage::StepRecord;
 
@@ -68,6 +68,14 @@ pub trait Control {
     /// Unsharded and classical controls keep the default empty vector.
     fn shard_decision_cost(&self) -> Vec<EngineCounters> {
         Vec::new()
+    }
+
+    /// Worker-pool occupancy and barrier statistics, for controls
+    /// running a thread-parallel closure backend. The simulator records
+    /// the value in [`crate::Metrics::parallel`] at the end of the run;
+    /// serial and classical controls keep the default `None`.
+    fn parallel_stats(&self) -> Option<ParallelStats> {
+        None
     }
 }
 

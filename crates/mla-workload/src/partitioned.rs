@@ -32,7 +32,7 @@ use std::sync::Arc;
 
 use mla_core::nest::Nest;
 use mla_model::program::{ScriptOp, ScriptProgram};
-use mla_model::EntityId;
+use mla_model::{EntityId, Step, TxnId};
 use mla_txn::{NoBreakpoints, PhaseTable, RuntimeBreakpoints};
 
 use crate::Workload;
@@ -135,6 +135,63 @@ pub fn generate(config: PartitionedConfig) -> Partitioned {
     }
 }
 
+/// The workload's canonical decision stream: one step per transaction
+/// per pass, transactions in id order, until every script is exhausted —
+/// the offer order a round-robin scheduler would produce. Each
+/// universe's shared entity sees its scanner first and then the short
+/// transactions in ascending id order within the very first pass, so
+/// the conflict structure is the same forward chain the simulator
+/// produces and **every offer is grantable**. This is the replay input
+/// for experiment A6: backends decide the identical stream and their
+/// wall-clock is compared directly, without simulator overhead between
+/// decisions.
+pub fn decision_stream(config: &PartitionedConfig) -> Vec<Step> {
+    let p_count = config.partitions;
+    let t_count = config.txns_per_partition;
+    let shared = |p: usize| EntityId(p as u32);
+    let short_private = |p: usize, round: usize| EntityId(((1 + round) * p_count + p) as u32);
+    let scanner_private = |p: usize, i: usize| EntityId(((1 + t_count + i) * p_count + p) as u32);
+
+    // Entity scripts, indexed by transaction id (scanners first — the
+    // same numbering as `generate`).
+    let mut scripts: Vec<Vec<EntityId>> = Vec::new();
+    for p in 0..p_count {
+        let mut script = vec![shared(p)];
+        for i in 1..config.scanner_len {
+            script.push(scanner_private(p, i));
+        }
+        scripts.push(script);
+    }
+    for round in 0..t_count {
+        for p in 0..p_count {
+            scripts.push(vec![shared(p), short_private(p, round)]);
+        }
+    }
+
+    let mut next = vec![0usize; scripts.len()];
+    let mut out = Vec::new();
+    loop {
+        let mut progressed = false;
+        for (t, script) in scripts.iter().enumerate() {
+            if next[t] < script.len() {
+                out.push(Step {
+                    txn: TxnId(t as u32),
+                    seq: next[t] as u32,
+                    entity: script[next[t]],
+                    observed: 0,
+                    wrote: 0,
+                });
+                next[t] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +228,41 @@ mod tests {
                 assert_eq!(e.0 as usize % 4, p, "txn {i}");
             }
         }
+    }
+
+    #[test]
+    fn decision_stream_matches_scripts_and_is_grantable() {
+        let cfg = PartitionedConfig {
+            partitions: 4,
+            txns_per_partition: 3,
+            scanner_len: 5,
+            arrival_spacing: 2,
+        };
+        let generated = generate(cfg.clone());
+        let wl = &generated.workload;
+        let stream = decision_stream(&cfg);
+        // One step per script position, seqs contiguous per transaction.
+        let total: usize = wl
+            .programs
+            .iter()
+            .map(|p| entities_of(p.as_ref()).len())
+            .sum();
+        assert_eq!(stream.len(), total);
+        for (t, prog) in wl.programs.iter().enumerate() {
+            let script = entities_of(prog.as_ref());
+            let steps: Vec<&Step> = stream.iter().filter(|s| s.txn.0 as usize == t).collect();
+            assert_eq!(steps.len(), script.len());
+            for (i, s) in steps.iter().enumerate() {
+                assert_eq!(s.seq as usize, i);
+                assert_eq!(s.entity, script[i]);
+            }
+        }
+        // Every offer grants: replay through the batch oracle backend.
+        let mut backend = mla_core::EngineBackend::unsharded(wl.nest.clone(), wl.spec());
+        for verdict in backend.decide_batch(&stream) {
+            assert!(verdict.is_ok(), "the stream must be conflict-chain shaped");
+        }
+        assert_eq!(backend.execution().steps(), stream.as_slice());
     }
 
     #[test]

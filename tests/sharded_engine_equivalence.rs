@@ -1,7 +1,9 @@
-//! The differential harness for the entity-sharded closure engine: five
-//! backends — the unsharded [`ClosureEngine`] and
-//! [`ShardedClosureEngine`]s at 1, 2, 4, and 8 shards — are driven in
-//! lockstep through random schedules and must be observationally
+//! The differential harness for the sharded closure engine: six
+//! backends — the unsharded [`ClosureEngine`], serial
+//! [`ShardedClosureEngine`]s at 1 and 4 shards, and thread-parallel
+//! engines at 4 shards × 2 workers, 4 × 4, and 8 × 3 (more shards than
+//! workers, so workers multiplex shard groups) — are driven in lockstep
+//! through random schedules and must be observationally
 //! indistinguishable.
 //!
 //! Each case builds a random k-nest, breakpoint specification, and
@@ -9,7 +11,7 @@
 //! count sees genuine splits *and* cross-shard transactions that force
 //! group coalescing), then offers steps in a random interleaving. On
 //! every offer the batch [`CoherentClosure`] of the current window plus
-//! the candidate is the ground truth; all five backends must return the
+//! the candidate is the ground truth; all six backends must return the
 //! same grant/deny verdict. Denials abort the *requester* on every
 //! backend — a deterministic victim rule, because cycle-witness paths
 //! (and hence witness-derived victim choices) are only guaranteed
@@ -38,7 +40,43 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-const SHARD_COUNTS: [usize; 5] = [0, 1, 2, 4, 8]; // 0 = unsharded
+/// One lockstep participant: how to build it, and its failure label.
+#[derive(Clone, Copy, Debug)]
+enum BackendSpec {
+    /// The unsharded reference engine.
+    Serial,
+    /// The serial sharded engine at the given shard count.
+    Sharded(usize),
+    /// The thread-parallel engine: (shards, workers).
+    Parallel(usize, usize),
+}
+
+impl BackendSpec {
+    fn build(self, nest: Nest, spec: RuntimeSpec) -> EngineBackend<RuntimeSpec> {
+        match self {
+            BackendSpec::Serial => EngineBackend::unsharded(nest, spec),
+            BackendSpec::Sharded(s) => EngineBackend::sharded(nest, spec, s),
+            BackendSpec::Parallel(s, w) => EngineBackend::parallel(nest, spec, s, w),
+        }
+    }
+
+    fn label(self) -> String {
+        match self {
+            BackendSpec::Serial => "serial".to_string(),
+            BackendSpec::Sharded(s) => format!("sharded({s})"),
+            BackendSpec::Parallel(s, w) => format!("parallel({s}x{w})"),
+        }
+    }
+}
+
+const BACKENDS: [BackendSpec; 6] = [
+    BackendSpec::Serial,
+    BackendSpec::Sharded(1),
+    BackendSpec::Sharded(4),
+    BackendSpec::Parallel(4, 2),
+    BackendSpec::Parallel(4, 4),
+    BackendSpec::Parallel(8, 3),
+];
 
 struct Setup {
     nest: Nest,
@@ -90,9 +128,9 @@ proptest! {
         let mut rng = SmallRng::seed_from_u64(seed);
         let setup = random_setup(&mut rng);
         let n = setup.scripts.len();
-        let mut backends: Vec<EngineBackend<RuntimeSpec>> = SHARD_COUNTS
+        let mut backends: Vec<EngineBackend<RuntimeSpec>> = BACKENDS
             .iter()
-            .map(|&s| EngineBackend::with_shards(setup.nest.clone(), setup.spec.clone(), s))
+            .map(|&b| b.build(setup.nest.clone(), setup.spec.clone()))
             .collect();
         let mut accepted: Vec<Step> = Vec::new();
         let mut next_seq = vec![0u32; n];
@@ -164,7 +202,7 @@ proptest! {
                         prop_assert!(
                             batch_ok,
                             "backend {} granted what batch denies (seed {})",
-                            SHARD_COUNTS[i], seed
+                            BACKENDS[i].label(), seed
                         );
                         b.commit_step();
                         granted += 1;
@@ -173,7 +211,7 @@ proptest! {
                         prop_assert!(
                             !batch_ok,
                             "backend {} denied what batch grants (seed {})",
-                            SHARD_COUNTS[i], seed
+                            BACKENDS[i].label(), seed
                         );
                         // Witness *paths* are only identical up to
                         // compaction timing, so assert presence, not
@@ -208,7 +246,7 @@ proptest! {
                 survived.steps(),
                 accepted.as_slice(),
                 "backend {} window diverged (seed {})",
-                SHARD_COUNTS[i],
+                BACKENDS[i].label(),
                 seed
             );
         }
@@ -232,7 +270,7 @@ proptest! {
                             want,
                             b.related_steps(key(u), key(v)),
                             "pair ({}, {}) disagrees on backend {} (seed {})",
-                            u, v, SHARD_COUNTS[i], seed
+                            u, v, BACKENDS[i].label(), seed
                         );
                     }
                 }
