@@ -6,6 +6,7 @@ pub mod a3;
 pub mod a4;
 pub mod a5;
 pub mod a6;
+pub mod a7;
 pub mod e1;
 pub mod e10;
 pub mod e11;
@@ -85,6 +86,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         a4::run(quick),
         a5::run(quick),
         a6::run(quick),
+        a7::run(quick),
         a2::run(quick),
         a3::run(quick),
     ]

@@ -36,6 +36,12 @@ pub enum ControlKind {
     MlaDetectFullRebuild(VictimPolicy),
     /// Multilevel-atomicity cycle prevention.
     MlaPrevent(VictimPolicy),
+    /// Cycle detection armed with an `mla-lint` static safety
+    /// certificate (A7). Panics if the workload does not certify.
+    MlaDetectCertified(VictimPolicy),
+    /// Cycle prevention armed with an `mla-lint` static safety
+    /// certificate (A7). Panics if the workload does not certify.
+    MlaPreventCertified(VictimPolicy),
 }
 
 impl ControlKind {
@@ -52,6 +58,8 @@ impl ControlKind {
             ControlKind::MlaDetectNoEvict(_) => "mla-detect/noevict",
             ControlKind::MlaDetectFullRebuild(_) => "mla-detect/rebuild",
             ControlKind::MlaPrevent(_) => "mla-prevent",
+            ControlKind::MlaDetectCertified(_) => "mla-detect/certified",
+            ControlKind::MlaPreventCertified(_) => "mla-prevent/certified",
         }
     }
 
@@ -188,6 +196,37 @@ pub fn run_cell(wl: &Workload, kind: ControlKind, seed: u64) -> CellResult {
         ),
         ControlKind::MlaPrevent(policy) => {
             let mut c = MlaPrevent::new(wl.txn_count(), wl.spec(), policy);
+            let out = run(
+                wl.nest.clone(),
+                wl.instances(),
+                wl.initial.iter().copied(),
+                &wl.arrivals,
+                &config,
+                &mut c,
+            );
+            (out, c.prevention_misses)
+        }
+        ControlKind::MlaDetectCertified(policy) => {
+            let cert = mla_lint::certify_workload(wl)
+                .cert
+                .expect("workload must certify for the certified control");
+            (
+                run(
+                    wl.nest.clone(),
+                    wl.instances(),
+                    wl.initial.iter().copied(),
+                    &wl.arrivals,
+                    &config,
+                    &mut MlaDetect::new(wl.spec(), policy).with_static_cert(cert),
+                ),
+                0,
+            )
+        }
+        ControlKind::MlaPreventCertified(policy) => {
+            let cert = mla_lint::certify_workload(wl)
+                .cert
+                .expect("workload must certify for the certified control");
+            let mut c = MlaPrevent::new(wl.txn_count(), wl.spec(), policy).with_static_cert(cert);
             let out = run(
                 wl.nest.clone(),
                 wl.instances(),

@@ -25,6 +25,8 @@
 //! projection. Decision for decision the two backends are equivalent —
 //! `tests/sharded_engine_equivalence.rs` is the differential oracle.
 
+use mla_core::cert::StaticCert;
+use mla_core::spec::BreakpointSpecification;
 use mla_core::{EngineBackend, EngineCounters, ParallelStats};
 use mla_model::TxnId;
 use mla_sim::{Control, Decision, TxnStatus, World};
@@ -50,10 +52,15 @@ pub struct MlaDetect {
     /// decision, charging the old per-step batch cost through the same
     /// code path.
     full_rebuild: bool,
+    /// A §5 static safety certificate from `mla-lint`: while it holds,
+    /// in-footprint steps are granted without any closure maintenance.
+    cert: Option<StaticCert>,
     /// Closure checks performed (for the E5 cost accounting).
     pub checks: u64,
     /// Checks that found a cycle.
     pub cycles_found: u64,
+    /// Decisions granted on the certificate fast path (A7 accounting).
+    pub certified_skips: u64,
 }
 
 impl MlaDetect {
@@ -138,9 +145,38 @@ impl MlaDetect {
             window: LiveWindow::new(),
             policy,
             full_rebuild: false,
+            cert: None,
             checks: 0,
             cycles_found: 0,
+            certified_skips: 0,
         }
+    }
+
+    /// Arms the certified fast path with an `mla-lint` [`StaticCert`]:
+    /// every step inside its footprints is granted after an O(log n)
+    /// guard, with no closure engine at all — the certificate proves no
+    /// interleaving of the certified workload can close a closure cycle,
+    /// which is precisely the only thing [`decide`](Control::decide)
+    /// would otherwise check. Decision-for-decision identical to the
+    /// uncertified control on certified workloads.
+    ///
+    /// A step *outside* its transaction's certified footprint voids the
+    /// certificate (this is not the workload that was certified): the
+    /// engine is rebuilt by replaying the journal — guaranteed acyclic,
+    /// since every replayed step passed the guard — and the control
+    /// continues uncertified, fast path permanently off.
+    pub fn with_static_cert(mut self, cert: StaticCert) -> Self {
+        assert!(
+            self.engine.is_none(),
+            "set the certificate before the first decision"
+        );
+        assert_eq!(
+            cert.k(),
+            BreakpointSpecification::k(&self.spec),
+            "certificate depth must match the spec"
+        );
+        self.cert = Some(cert);
+        self
     }
 }
 
@@ -151,6 +187,30 @@ impl Control for MlaDetect {
 
     fn decide(&mut self, txn: TxnId, world: &World) -> Decision {
         let candidate = LiveWindow::candidate_step(world, txn);
+        if let Some(cert) = &self.cert {
+            if cert.covers(txn, candidate.entity) {
+                self.checks += 1;
+                self.certified_skips += 1;
+                return Decision::Grant;
+            }
+            // Off-footprint step: whatever is running, it is not the
+            // workload that was certified. Void the certificate and
+            // catch the engine up on everything granted so far.
+            self.cert = None;
+            let mut engine = EngineBackend::with_parallelism(
+                world.nest.clone(),
+                self.spec.clone(),
+                self.shards,
+                self.workers,
+            );
+            for r in world.store.journal() {
+                engine
+                    .apply_step(r.as_step())
+                    .expect("certified history must replay acyclically");
+                engine.commit_step();
+            }
+            self.engine = Some(engine);
+        }
         if self.engine.is_none() {
             self.engine = Some(EngineBackend::with_parallelism(
                 world.nest.clone(),
@@ -224,6 +284,10 @@ impl Control for MlaDetect {
 
     fn parallel_stats(&self) -> Option<ParallelStats> {
         MlaDetect::parallel_stats(self)
+    }
+
+    fn certified_skips(&self) -> u64 {
+        self.certified_skips
     }
 }
 
@@ -592,5 +656,116 @@ mod tests {
         assert!(oracle::is_correctable_outcome(&out, &nest, &spec));
         let total: i64 = (0..3).map(|a| out.store.value(e(a))).sum();
         assert_eq!(total, 300);
+    }
+
+    fn small_partitioned() -> mla_workload::partitioned::Partitioned {
+        mla_workload::partitioned::generate(mla_workload::partitioned::PartitionedConfig {
+            partitions: 2,
+            txns_per_partition: 10,
+            scanner_len: 10,
+            arrival_spacing: 2,
+        })
+    }
+
+    #[test]
+    fn certified_fast_path_matches_uncertified_byte_for_byte() {
+        let p = small_partitioned();
+        let wl = &p.workload;
+        let cert = mla_lint::certify_workload(wl)
+            .cert
+            .expect("partitioned workload must certify");
+        let config = SimConfig::seeded(77);
+        let mut base = MlaDetect::new(wl.spec(), VictimPolicy::FewestSteps);
+        let out_base = run(
+            wl.nest.clone(),
+            wl.instances(),
+            wl.initial.iter().copied(),
+            &wl.arrivals,
+            &config,
+            &mut base,
+        );
+        let mut fast = MlaDetect::new(wl.spec(), VictimPolicy::FewestSteps).with_static_cert(cert);
+        let out_fast = run(
+            wl.nest.clone(),
+            wl.instances(),
+            wl.initial.iter().copied(),
+            &wl.arrivals,
+            &config,
+            &mut fast,
+        );
+        // Same history, byte for byte: the certificate only skips work
+        // the closure engine would have done to reach the same Grant.
+        assert_eq!(out_base.execution.steps(), out_fast.execution.steps());
+        assert_eq!(out_base.metrics.committed, out_fast.metrics.committed);
+        // Every decision went through the fast path, never the engine.
+        assert!(fast.certified_skips > 0);
+        assert_eq!(fast.certified_skips, fast.checks);
+        assert_eq!(fast.cost(), EngineCounters::default());
+        assert_eq!(out_fast.metrics.certified_skips, fast.certified_skips);
+        assert_eq!(out_base.metrics.certified_skips, 0);
+        assert!(oracle::is_correctable_outcome(
+            &out_fast,
+            &wl.nest,
+            &wl.spec()
+        ));
+    }
+
+    #[test]
+    fn off_footprint_step_voids_the_certificate() {
+        let p = small_partitioned();
+        let wl = &p.workload;
+        let real = mla_lint::certify_workload(wl)
+            .cert
+            .expect("partitioned workload must certify");
+        // Doctor the certificate: drop the private entity from the
+        // last-arriving short transaction's footprint. Doctored ⊆ real,
+        // so every step the guard does grant is genuinely certified and
+        // the journal replay on voiding must stay acyclic.
+        let last = wl.txn_count() - 1;
+        let footprints: Vec<Vec<EntityId>> = (0..wl.txn_count())
+            .map(|t| {
+                let mut fp = real.footprint(TxnId(t as u32)).to_vec();
+                if t == last {
+                    fp.pop();
+                }
+                fp
+            })
+            .collect();
+        let doctored = mla_core::cert::StaticCert::new(real.k(), footprints);
+        let config = SimConfig::seeded(77);
+        let mut base = MlaDetect::new(wl.spec(), VictimPolicy::FewestSteps);
+        let out_base = run(
+            wl.nest.clone(),
+            wl.instances(),
+            wl.initial.iter().copied(),
+            &wl.arrivals,
+            &config,
+            &mut base,
+        );
+        let mut fast =
+            MlaDetect::new(wl.spec(), VictimPolicy::FewestSteps).with_static_cert(doctored);
+        let out_fast = run(
+            wl.nest.clone(),
+            wl.instances(),
+            wl.initial.iter().copied(),
+            &wl.arrivals,
+            &config,
+            &mut fast,
+        );
+        // The voided run granted some decisions certified, then handed
+        // the rest to a journal-caught-up engine — and still produced
+        // the identical history.
+        assert!(fast.certified_skips > 0, "fast path ran before voiding");
+        assert!(
+            fast.certified_skips < fast.checks,
+            "voiding must hand later decisions to the engine"
+        );
+        assert_ne!(fast.cost(), EngineCounters::default());
+        assert_eq!(out_base.execution.steps(), out_fast.execution.steps());
+        assert!(oracle::is_correctable_outcome(
+            &out_fast,
+            &wl.nest,
+            &wl.spec()
+        ));
     }
 }

@@ -22,6 +22,8 @@
 //! group owning the candidate — and a deferred candidate is rolled back
 //! to be retried later; no batch recomputation on any path.
 
+use mla_core::cert::StaticCert;
+use mla_core::spec::BreakpointSpecification;
 use mla_core::{EngineBackend, EngineCounters, ParallelStats};
 use mla_graph::IncrementalTopo;
 use mla_model::TxnId;
@@ -45,8 +47,14 @@ pub struct MlaPrevent {
     window: LiveWindow,
     waits: IncrementalTopo,
     policy: VictimPolicy,
+    /// A §5 static safety certificate from `mla-lint`: while it holds,
+    /// in-footprint steps are granted without closure maintenance or
+    /// breakpoint waits.
+    cert: Option<StaticCert>,
     /// Steps delayed waiting for a breakpoint (E4/E6 accounting).
     pub breakpoint_waits: u64,
+    /// Decisions granted on the certificate fast path (A7 accounting).
+    pub certified_skips: u64,
     /// Grants the §6 delay rule alone would have admitted despite a
     /// cyclic candidate closure, caught by the engine's cycle rejection.
     /// Zero in every run if the rule is as sufficient as the paper
@@ -147,9 +155,37 @@ impl MlaPrevent {
             window: LiveWindow::new(),
             waits: IncrementalTopo::new(txn_count),
             policy,
+            cert: None,
             breakpoint_waits: 0,
+            certified_skips: 0,
             prevention_misses: 0,
         }
+    }
+
+    /// Arms the certified fast path with an `mla-lint` [`StaticCert`]:
+    /// in-footprint steps are granted immediately, with no closure
+    /// engine and — unlike the uncertified preventer — **no breakpoint
+    /// waits**: the certificate proves every interleaving of the
+    /// certified workload correctable, so the §6 delay rule has nothing
+    /// left to prevent. Histories therefore differ from the uncertified
+    /// preventer's (which defers conservatively); both are correctable.
+    ///
+    /// A step outside its transaction's certified footprint voids the
+    /// certificate: the engine is rebuilt by replaying the journal
+    /// (acyclic by the certificate) and the control continues
+    /// uncertified.
+    pub fn with_static_cert(mut self, cert: StaticCert) -> Self {
+        assert!(
+            self.engine.is_none(),
+            "set the certificate before the first decision"
+        );
+        assert_eq!(
+            cert.k(),
+            BreakpointSpecification::k(&self.spec),
+            "certificate depth must match the spec"
+        );
+        self.cert = Some(cert);
+        self
     }
 }
 
@@ -160,6 +196,28 @@ impl Control for MlaPrevent {
 
     fn decide(&mut self, txn: TxnId, world: &World) -> Decision {
         let candidate = LiveWindow::candidate_step(world, txn);
+        if let Some(cert) = &self.cert {
+            if cert.covers(txn, candidate.entity) {
+                self.certified_skips += 1;
+                return Decision::Grant;
+            }
+            // Off-footprint step: not the certified workload. Void the
+            // certificate and catch the engine up on the journal.
+            self.cert = None;
+            let mut engine = EngineBackend::with_parallelism(
+                world.nest.clone(),
+                self.spec.clone(),
+                self.shards,
+                self.workers,
+            );
+            for r in world.store.journal() {
+                engine
+                    .apply_step(r.as_step())
+                    .expect("certified history must replay acyclically");
+                engine.commit_step();
+            }
+            self.engine = Some(engine);
+        }
         if self.engine.is_none() {
             self.engine = Some(EngineBackend::with_parallelism(
                 world.nest.clone(),
@@ -269,6 +327,10 @@ impl Control for MlaPrevent {
 
     fn parallel_stats(&self) -> Option<ParallelStats> {
         MlaPrevent::parallel_stats(self)
+    }
+
+    fn certified_skips(&self) -> u64 {
+        self.certified_skips
     }
 }
 
@@ -505,5 +567,40 @@ mod tests {
         assert!(oracle::is_correctable_outcome(&out, &nest, &spec));
         let total: i64 = (0..4).map(|a| out.store.value(e(a))).sum();
         assert_eq!(total, 100);
+    }
+    #[test]
+    fn certified_preventer_skips_waits_and_stays_correctable() {
+        let p = mla_workload::partitioned::generate(mla_workload::partitioned::PartitionedConfig {
+            partitions: 2,
+            txns_per_partition: 10,
+            scanner_len: 10,
+            arrival_spacing: 2,
+        });
+        let wl = &p.workload;
+        let cert = mla_lint::certify_workload(wl)
+            .cert
+            .expect("partitioned workload must certify");
+        let mut control = MlaPrevent::new(wl.txn_count(), wl.spec(), VictimPolicy::FewestSteps)
+            .with_static_cert(cert);
+        let out = run(
+            wl.nest.clone(),
+            wl.instances(),
+            wl.initial.iter().copied(),
+            &wl.arrivals,
+            &SimConfig::seeded(77),
+            &mut control,
+        );
+        // Every step granted straight off the certificate: no closure
+        // engine, no breakpoint waits, no defers at all.
+        assert_eq!(out.metrics.committed as usize, wl.txn_count());
+        assert!(control.certified_skips > 0);
+        assert_eq!(out.metrics.certified_skips, control.certified_skips);
+        assert_eq!(out.metrics.defers, 0);
+        assert_eq!(control.breakpoint_waits, 0);
+        assert_eq!(control.prevention_misses, 0);
+        assert_eq!(out.metrics.decision_cost, EngineCounters::default());
+        // Grant-all under a certificate is sound: the certificate proves
+        // every interleaving correctable, and the oracle agrees.
+        assert!(oracle::is_correctable_outcome(&out, &wl.nest, &wl.spec()));
     }
 }

@@ -1,0 +1,96 @@
+//! Static safety certificates: the carrier type for `mla-lint`'s §5
+//! certification pass.
+//!
+//! The lint crate analyzes a workload's may-conflict structure over
+//! breakpoint-free segments and, when **no** interleaving can produce a
+//! coherent-closure cycle, issues a [`StaticCert`]. The certificate
+//! records, per transaction, the may-footprint the proof was carried out
+//! against; a scheduler holding the certificate
+//! (`MlaDetect::with_static_cert` / `MlaPrevent::with_static_cert` in
+//! `mla-cc`) may grant any step whose entity lies inside its
+//! transaction's recorded footprint without consulting the closure
+//! engine at all — the theorem guarantees the resulting history is
+//! correctable whatever the interleaving. A step *outside* its recorded
+//! footprint voids the certificate (the workload is not the one that was
+//! certified) and the scheduler falls back to runtime checking.
+//!
+//! The type lives here rather than in `mla-lint` so schedulers can
+//! consume certificates without depending on the analyzer. Constructing
+//! one is a claim of proof: soundness rests entirely on the issuer.
+
+use mla_model::{EntityId, TxnId};
+
+/// A certificate that no coherent-closure cycle is realizable under any
+/// interleaving of the certified transactions — §5's characterization
+/// discharged statically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaticCert {
+    k: usize,
+    /// Per-transaction may-footprints (sorted, deduplicated), indexed by
+    /// dense [`TxnId`]. The proof covers exactly runs whose every step
+    /// stays inside these sets.
+    footprints: Vec<Vec<EntityId>>,
+}
+
+impl StaticCert {
+    /// Wraps a verified analysis result. `footprints[t]` is transaction
+    /// `t`'s may-footprint; sets are sorted and deduplicated here so
+    /// [`StaticCert::covers`] can binary-search.
+    ///
+    /// Issuing a certificate asserts the §5 no-mixed-cycle property was
+    /// actually proven for these footprints — callers other than
+    /// `mla-lint`'s certification pass must bring their own proof.
+    pub fn new(k: usize, mut footprints: Vec<Vec<EntityId>>) -> Self {
+        for fp in &mut footprints {
+            fp.sort_unstable();
+            fp.dedup();
+        }
+        StaticCert { k, footprints }
+    }
+
+    /// The certified nest depth.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of transactions covered.
+    pub fn txn_count(&self) -> usize {
+        self.footprints.len()
+    }
+
+    /// Whether a step of `txn` on `entity` is inside the certified
+    /// footprint (false for out-of-range transactions). This is the O(log
+    /// n) runtime guard on the certified fast path.
+    pub fn covers(&self, txn: TxnId, entity: EntityId) -> bool {
+        self.footprints
+            .get(txn.index())
+            .is_some_and(|fp| fp.binary_search(&entity).is_ok())
+    }
+
+    /// The recorded may-footprint of `txn` (empty for out-of-range ids).
+    pub fn footprint(&self, txn: TxnId) -> &[EntityId] {
+        self.footprints
+            .get(txn.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_checks_sorted_footprints() {
+        let cert = StaticCert::new(3, vec![vec![EntityId(9), EntityId(3), EntityId(3)], vec![]]);
+        assert_eq!(cert.k(), 3);
+        assert_eq!(cert.txn_count(), 2);
+        assert!(cert.covers(TxnId(0), EntityId(3)));
+        assert!(cert.covers(TxnId(0), EntityId(9)));
+        assert!(!cert.covers(TxnId(0), EntityId(4)));
+        assert!(!cert.covers(TxnId(1), EntityId(3)), "empty footprint");
+        assert!(!cert.covers(TxnId(7), EntityId(3)), "unknown transaction");
+        assert_eq!(cert.footprint(TxnId(0)), &[EntityId(3), EntityId(9)]);
+        assert_eq!(cert.footprint(TxnId(7)), &[] as &[EntityId]);
+    }
+}

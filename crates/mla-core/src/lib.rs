@@ -57,6 +57,7 @@
 pub mod action_tree;
 pub mod atomicity;
 pub mod breakpoints;
+pub mod cert;
 pub mod closure;
 pub mod engine;
 pub mod extend;
@@ -70,6 +71,7 @@ pub mod theorem;
 
 pub use atomicity::{check_multilevel_atomic, is_multilevel_atomic, MlaCriterion};
 pub use breakpoints::BreakpointDescription;
+pub use cert::StaticCert;
 pub use closure::CoherentClosure;
 pub use engine::{ClosureEngine, CycleWitness, EngineCounters};
 pub use extend::{extend_to_total_order, witness_execution};

@@ -153,6 +153,18 @@ impl Nest {
         &self.paths[t.index()]
     }
 
+    /// Levels `i` in `2 ..= k` where `π(i)` equals `π(i-1)` as a
+    /// partition. Such a level adds no distinctions: any breakpoint
+    /// description separating levels `i-1` and `i` is vacuous there, and
+    /// the nest is observationally a `(k-1)`-nest. Since `π(i)` refines
+    /// `π(i-1)` by construction, equality holds exactly when the class
+    /// counts match.
+    pub fn degenerate_levels(&self) -> Vec<usize> {
+        (2..=self.k)
+            .filter(|&i| self.classes_at(i).len() == self.classes_at(i - 1).len())
+            .collect()
+    }
+
     /// Groups transactions into the classes of `π(i)`.
     pub fn classes_at(&self, i: usize) -> Vec<Vec<TxnId>> {
         assert!(i >= 1 && i <= self.k, "level {i} out of 1..={}", self.k);
@@ -331,6 +343,18 @@ mod tests {
         assert_eq!(n.level(TxnId(0), TxnId(2)), 1);
         assert_eq!(n.level(TxnId(2), TxnId(2)), 3);
         assert_eq!(n.classes_at(2).len(), 2);
+    }
+
+    #[test]
+    fn degenerate_levels_found_where_partitions_repeat() {
+        assert!(banking_nest().degenerate_levels().is_empty());
+        // Every family has exactly one customer: pi(3) repeats pi(2), and
+        // pi(4)'s singletons were already reached at level 3.
+        let n = Nest::new(4, vec![vec![0, 0], vec![1, 1], vec![2, 2]]).unwrap();
+        assert_eq!(n.degenerate_levels(), vec![3, 4]);
+        // Flat 2-nest over one transaction: pi(2) == pi(1) trivially.
+        assert_eq!(Nest::flat(1).degenerate_levels(), vec![2]);
+        assert!(Nest::flat(3).degenerate_levels().is_empty());
     }
 
     #[test]

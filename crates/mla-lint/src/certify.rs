@@ -1,0 +1,351 @@
+//! Pass 3 — static safety certification: discharging §5's Theorem 2 at
+//! analysis time, for *every* interleaving at once.
+//!
+//! # The model
+//!
+//! Theorem 2 says a history is correctable iff the coherent closure of
+//! its base order (program order + per-entity access order) is acyclic.
+//! A closure cycle must alternate cross-transaction conflict edges with
+//! within-transaction travel. Forward travel is program order; the only
+//! *backward* travel the closure offers is condition (b)'s lift: an
+//! outgoing conflict at access `α` toward a level-`ℓ` partner may be
+//! taken from any later access `α'` in `α`'s level-`ℓ` segment — so a
+//! path that has already reached `α'` can still exit "at" `α`, i.e.
+//! travel backward across `α' .. α`, but never across a level-`ℓ`
+//! breakpoint.
+//!
+//! We build a finite graph over *access slots* (exact step positions,
+//! or footprint entities for branching programs — see
+//! [`TxnProfile`]): an edge `(t, a_in) -> (u, b_in)` exists when, having
+//! arrived at slot `a_in` of `t`, some run can exit through an access of
+//! `t` on an entity shared with `u`, entering `u` at `b_in`. The edge is
+//! *backward-capable* when that exit can be performed earlier than the
+//! arrival. Every realizable closure cycle projects onto a cycle in this
+//! graph, and a closed walk of purely forward traversals is
+//! time-inconsistent (each hop follows performance order, so the walk
+//! cannot return to its start). Hence:
+//!
+//! > **If no graph cycle passes through a backward-capable edge, no
+//! > interleaving can close a closure cycle** — the workload is safe
+//! > under *any* scheduler that keeps steps inside the profiled
+//! > footprints, and a [`StaticCert`] is issued.
+//!
+//! Soundness leans on the profiles being conservative both ways: real
+//! runs have *at least* the guaranteed breakpoints (segments only
+//! shrink, so modeled backward travel covers every real lift) and *at
+//! most* the may-footprint accesses (modeled conflict edges cover every
+//! real conflict). The check itself is one strongly-connected-components
+//! pass: a backward edge `u -> v` lies on a cycle iff `u` and `v` share
+//! a component.
+
+use mla_core::cert::StaticCert;
+use mla_core::nest::Nest;
+use mla_model::{EntityId, TxnId};
+use mla_workload::Workload;
+
+use crate::diag::{Code, Diagnostic, Severity, Span};
+use crate::profile::TxnProfile;
+
+/// The certification pass's outcome: the certificate (if earned) plus
+/// the MLA02x diagnostics explaining the verdict.
+pub struct Certification {
+    /// The certificate, when the no-mixed-cycle property was proven.
+    pub cert: Option<StaticCert>,
+    /// MLA020 (issued), MLA021 (denied, with witness), or MLA022
+    /// (abstained: footprints unknown).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Runs static certification over a workload.
+pub fn certify_workload(w: &Workload) -> Certification {
+    let profiles: Vec<Option<TxnProfile>> = w
+        .programs
+        .iter()
+        .zip(&w.breakpoints)
+        .map(|(p, b)| TxnProfile::build(p.as_ref(), b.as_ref()))
+        .collect();
+    let mut diagnostics = Vec::new();
+    if profiles.iter().any(Option::is_none) {
+        for (t, _) in profiles.iter().enumerate().filter(|(_, p)| p.is_none()) {
+            diagnostics.push(Diagnostic::new(
+                Code::FootprintUnknown,
+                Severity::Note,
+                Span::Txn(TxnId(t as u32)),
+                "entity footprint is not statically known; certification abstains",
+            ));
+        }
+        return Certification {
+            cert: None,
+            diagnostics,
+        };
+    }
+    let profiles: Vec<TxnProfile> = profiles.into_iter().map(Option::unwrap).collect();
+    let graph = ConflictGraph::build(&w.nest, &profiles);
+    match graph.mixed_cycle_witness() {
+        None => {
+            diagnostics.push(Diagnostic::new(
+                Code::CertIssued,
+                Severity::Note,
+                Span::Spec,
+                format!(
+                    "static safety certificate: no interleaving of the {} transactions \
+                     can close a coherent-closure cycle ({} may-conflict edges, \
+                     {} backward-capable, none on a cycle)",
+                    profiles.len(),
+                    graph.edge_count,
+                    graph.backward.len(),
+                ),
+            ));
+            let footprints = profiles.iter().map(TxnProfile::footprint).collect();
+            Certification {
+                cert: Some(StaticCert::new(w.nest.k(), footprints)),
+                diagnostics,
+            }
+        }
+        Some(b) => {
+            diagnostics.push(Diagnostic::new(
+                Code::CertDenied,
+                Severity::Warning,
+                Span::Txn(b.from),
+                format!(
+                    "a mixed closure cycle is realizable: t{} can exit to t{} via x{} \
+                     behind its own arrival (a condition-(b) lift inside a level-{} \
+                     segment) and conflict edges lead back — some interleavings need \
+                     runtime checking",
+                    b.from.0, b.to.0, b.entity.0, b.level,
+                ),
+            ));
+            Certification {
+                cert: None,
+                diagnostics,
+            }
+        }
+    }
+}
+
+/// A backward-capable edge, kept for witness reporting.
+struct BackEdge {
+    from_node: usize,
+    to_node: usize,
+    from: TxnId,
+    to: TxnId,
+    entity: EntityId,
+    level: usize,
+}
+
+/// The may-conflict graph over access slots.
+struct ConflictGraph {
+    /// Adjacency over dense node ids (`offsets[t] + slot`).
+    adj: Vec<Vec<usize>>,
+    edge_count: usize,
+    backward: Vec<BackEdge>,
+}
+
+impl ConflictGraph {
+    fn build(nest: &Nest, profiles: &[TxnProfile]) -> ConflictGraph {
+        let n = profiles.len();
+        let mut offsets = Vec::with_capacity(n);
+        let mut total = 0usize;
+        for p in profiles {
+            offsets.push(total);
+            total += p.slot_count();
+        }
+        let footprints: Vec<Vec<EntityId>> = profiles.iter().map(TxnProfile::footprint).collect();
+        let mut adj: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); total];
+        let mut backward_set = std::collections::BTreeSet::new();
+        let mut backward = Vec::new();
+        for t in 0..n {
+            for u in 0..n {
+                if t == u {
+                    continue;
+                }
+                let level = nest.level(TxnId(t as u32), TxnId(u as u32));
+                for &e in intersect(&footprints[t], &footprints[u]).iter() {
+                    for &a_out in &profiles[t].slots_on(e) {
+                        for &b_in in &profiles[u].slots_on(e) {
+                            let to = offsets[u] + b_in;
+                            for a_in in 0..profiles[t].slot_count() {
+                                if !profiles[t].can_traverse(a_in, a_out, level) {
+                                    continue;
+                                }
+                                let from = offsets[t] + a_in;
+                                adj[from].insert(to);
+                                if profiles[t].backward_traverse(a_in, a_out, level)
+                                    && backward_set.insert((from, to))
+                                {
+                                    backward.push(BackEdge {
+                                        from_node: from,
+                                        to_node: to,
+                                        from: TxnId(t as u32),
+                                        to: TxnId(u as u32),
+                                        entity: e,
+                                        level,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let adj: Vec<Vec<usize>> = adj.into_iter().map(|s| s.into_iter().collect()).collect();
+        let edge_count = adj.iter().map(Vec::len).sum();
+        ConflictGraph {
+            adj,
+            edge_count,
+            backward,
+        }
+    }
+
+    /// The first backward-capable edge lying on a cycle, if any: one
+    /// Kosaraju SCC pass, then `u -> v` is on a cycle iff `u` and `v`
+    /// share a component.
+    fn mixed_cycle_witness(&self) -> Option<&BackEdge> {
+        if self.backward.is_empty() {
+            return None;
+        }
+        let comp = self.scc();
+        self.backward
+            .iter()
+            .find(|b| comp[b.from_node] == comp[b.to_node])
+    }
+
+    /// Kosaraju's algorithm, iterative (finish order on the graph, then
+    /// component sweep on the transpose).
+    fn scc(&self) -> Vec<usize> {
+        let n = self.adj.len();
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            // Stack of (node, next child index) frames.
+            let mut stack = vec![(start, 0usize)];
+            seen[start] = true;
+            while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+                if *i < self.adj[v].len() {
+                    let w = self.adj[v][*i];
+                    *i += 1;
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push((w, 0));
+                    }
+                } else {
+                    order.push(v);
+                    stack.pop();
+                }
+            }
+        }
+        let mut transpose: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (v, outs) in self.adj.iter().enumerate() {
+            for &w in outs {
+                transpose[w].push(v);
+            }
+        }
+        let mut comp = vec![usize::MAX; n];
+        let mut current = 0;
+        for &start in order.iter().rev() {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![start];
+            comp[start] = current;
+            while let Some(v) = stack.pop() {
+                for &w in &transpose[v] {
+                    if comp[w] == usize::MAX {
+                        comp[w] = current;
+                        stack.push(w);
+                    }
+                }
+            }
+            current += 1;
+        }
+        comp
+    }
+}
+
+/// Intersection of two sorted, deduplicated entity sets.
+fn intersect(a: &[EntityId], b: &[EntityId]) -> Vec<EntityId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_workload::{banking, cad, partitioned};
+
+    #[test]
+    fn partitioned_workload_certifies() {
+        // Every cross-transaction conflict runs through a universe's
+        // single shared slot, accessed exactly once per transaction at a
+        // known position: no backward-capable edge can exist.
+        let wl = partitioned::generate(partitioned::PartitionedConfig::default()).workload;
+        let c = certify_workload(&wl);
+        let cert = c.cert.expect("partitioned must earn a certificate");
+        assert_eq!(cert.k(), 3);
+        assert_eq!(cert.txn_count(), wl.txn_count());
+        assert_eq!(c.diagnostics.len(), 1);
+        assert_eq!(c.diagnostics[0].code, Code::CertIssued);
+        // The certificate's guard accepts exactly the profiled entities.
+        assert!(cert.covers(TxnId(0), EntityId(0)), "scanner 0 reads slot 0");
+        assert!(!cert.covers(TxnId(0), EntityId(1)), "foreign shared slot");
+    }
+
+    #[test]
+    fn banking_workload_is_denied_with_witness() {
+        // Atomic audits share many accounts with the transfers and carry
+        // no guaranteed breakpoints: their whole run is one segment, so
+        // backward exits (and thus mixed cycles) are realizable.
+        let wl = banking::generate(banking::BankingConfig::default()).workload;
+        let c = certify_workload(&wl);
+        assert!(c.cert.is_none(), "banking must not certify");
+        assert_eq!(c.diagnostics.len(), 1);
+        let d = &c.diagnostics[0];
+        assert_eq!(d.code, Code::CertDenied);
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("mixed closure cycle"));
+    }
+
+    #[test]
+    fn cad_workload_is_denied() {
+        let wl = cad::generate(cad::CadConfig::default()).workload;
+        let c = certify_workload(&wl);
+        assert!(c.cert.is_none(), "atomic snapshots forbid certification");
+        assert_eq!(c.diagnostics[0].code, Code::CertDenied);
+    }
+
+    #[test]
+    fn scc_finds_the_obvious_cycle() {
+        let g = ConflictGraph {
+            adj: vec![vec![1], vec![2], vec![0], vec![]],
+            edge_count: 3,
+            backward: vec![BackEdge {
+                from_node: 2,
+                to_node: 0,
+                from: TxnId(1),
+                to: TxnId(0),
+                entity: EntityId(9),
+                level: 1,
+            }],
+        };
+        assert!(g.mixed_cycle_witness().is_some());
+        let comp = g.scc();
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+    }
+}

@@ -1,0 +1,334 @@
+//! The diagnostic framework: stable codes, severities, spec spans, and
+//! the rendered report (human table + JSON).
+//!
+//! Codes are stable API: once shipped, a code keeps its meaning forever
+//! (retired codes are never reused). Each code carries the paper clause
+//! it enforces, so a report line always points back into Lynch (1982).
+
+use mla_model::TxnId;
+
+/// Stable diagnostic codes. The numeric ranges group the passes:
+/// `MLA00x` well-formedness, `MLA01x` spec smells, `MLA02x` static
+/// safety certification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// MLA001: a transaction's breakpoint depth differs from the nest's.
+    BreakpointDepthMismatch,
+    /// MLA002: runtime breakpoint introspection is inconsistent — a
+    /// reported level is outside `2 .. k`, or a static guarantee is not
+    /// honored on the probe run.
+    IntrospectionInconsistent,
+    /// MLA003: `k = 2` — the specification degenerates to classical
+    /// serializability.
+    SerializabilityDegenerate,
+    /// MLA004: density-1 breakpoints at level 2 — the specification
+    /// permits every interleaving and constrains nothing beyond
+    /// single-step atomicity.
+    DensityOneUnconstrained,
+    /// MLA010: a nest level repeats the previous level's partition.
+    DegenerateLevel,
+    /// MLA011: singleton classes at a mid level — the level's extra
+    /// interleaving freedom is unused by those transactions.
+    SingletonClasses,
+    /// MLA012: a transaction declares breakpoints at a level where it
+    /// has no partners — they can never enable an interleaving.
+    NeverEnabledBreakpoint,
+    /// MLA020: a static safety certificate was issued.
+    CertIssued,
+    /// MLA021: certification denied — a mixed closure cycle is
+    /// realizable under some interleaving.
+    CertDenied,
+    /// MLA022: certification abstained — a transaction's entity
+    /// footprint is not statically known.
+    FootprintUnknown,
+}
+
+impl Code {
+    /// The stable wire form, e.g. `"MLA021"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::BreakpointDepthMismatch => "MLA001",
+            Code::IntrospectionInconsistent => "MLA002",
+            Code::SerializabilityDegenerate => "MLA003",
+            Code::DensityOneUnconstrained => "MLA004",
+            Code::DegenerateLevel => "MLA010",
+            Code::SingletonClasses => "MLA011",
+            Code::NeverEnabledBreakpoint => "MLA012",
+            Code::CertIssued => "MLA020",
+            Code::CertDenied => "MLA021",
+            Code::FootprintUnknown => "MLA022",
+        }
+    }
+
+    /// The clause of the paper this code enforces or applies.
+    pub fn clause(self) -> &'static str {
+        match self {
+            Code::BreakpointDepthMismatch => "§4.3 breakpoint specification",
+            Code::IntrospectionInconsistent => "§6 compatibility condition",
+            Code::SerializabilityDegenerate => "§4.3 k=2 collapse",
+            Code::DensityOneUnconstrained => "§4.2 breakpoint density (E8)",
+            Code::DegenerateLevel => "§4.2 nest refinement chain",
+            Code::SingletonClasses => "§4.2 k-nest classes",
+            Code::NeverEnabledBreakpoint => "§4.2 B_t(i) segments",
+            Code::CertIssued => "§5 Theorem 2, discharged statically",
+            Code::CertDenied => "§5 Theorem 2, discharged statically",
+            Code::FootprintUnknown => "§3 entity footprint",
+        }
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How seriously to take a diagnostic. `Error` means the specification
+/// is malformed (the theory's preconditions fail); `Warning` flags
+/// likely-unintended structure; `Note` is informational.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The specification violates a precondition of the theory.
+    Error,
+    /// Suspicious structure, probably not what the author meant.
+    Warning,
+    /// Informational.
+    Note,
+}
+
+impl Severity {
+    /// Lower-case label, e.g. `"warning"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+/// Where in the breakpoint specification a diagnostic points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Span {
+    /// The whole specification.
+    Spec,
+    /// A nest level.
+    Level(usize),
+    /// One transaction's breakpoint structure.
+    Txn(TxnId),
+    /// A position inside one transaction (after `pos` performed steps).
+    TxnPos(TxnId, usize),
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Span::Spec => write!(f, "spec"),
+            Span::Level(i) => write!(f, "level {i}"),
+            Span::Txn(t) => write!(f, "t{}", t.0),
+            Span::TxnPos(t, p) => write!(f, "t{}@{p}", t.0),
+        }
+    }
+}
+
+/// One finding: a stable code, a severity, a pointer into the spec, and
+/// a human message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// How seriously to take it.
+    pub severity: Severity,
+    /// Where it points.
+    pub span: Span,
+    /// What it says.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Convenience constructor.
+    pub fn new(code: Code, severity: Severity, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+/// The analyzer's output for one workload: all diagnostics from all
+/// passes plus the certification verdict.
+pub struct Report {
+    /// Workload label.
+    pub workload: String,
+    /// Nest depth.
+    pub k: usize,
+    /// Transactions analyzed.
+    pub txn_count: usize,
+    /// Whether the certification pass issued a [`mla_core::StaticCert`].
+    pub certified: bool,
+    /// Findings, sorted errors-first then by code and span.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Sorts diagnostics into the canonical report order.
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by_key(|a| (a.severity, a.code, a.span));
+    }
+
+    /// Whether any diagnostic has [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// The human-readable table.
+    pub fn render(&self) -> String {
+        let verdict = if self.certified {
+            "certified"
+        } else {
+            "not certified"
+        };
+        let mut out = format!(
+            "mla-lint: {} (k={}, {} txns) — {}\n",
+            self.workload, self.k, self.txn_count, verdict
+        );
+        if self.diagnostics.is_empty() {
+            out.push_str("  (clean)\n");
+            return out;
+        }
+        let rows: Vec<[String; 4]> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                [
+                    d.code.as_str().to_string(),
+                    d.severity.as_str().to_string(),
+                    d.span.to_string(),
+                    d.message.clone(),
+                ]
+            })
+            .collect();
+        let mut widths = [4usize, 8, 5, 7]; // CODE SEVERITY WHERE MESSAGE
+        for r in &rows {
+            for (w, cell) in widths.iter_mut().zip(r.iter()) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let header = ["CODE", "SEVERITY", "WHERE", "MESSAGE"];
+        let fmt_row = |cells: [&str; 4]| {
+            let mut line = String::from(" ");
+            for (i, cell) in cells.iter().enumerate() {
+                line.push(' ');
+                line.push_str(cell);
+                // The last column is ragged-right.
+                if i + 1 < cells.len() {
+                    for _ in cell.chars().count()..widths[i] {
+                        line.push(' ');
+                    }
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(header));
+        for r in &rows {
+            out.push_str(&fmt_row([&r[0], &r[1], &r[2], &r[3]]));
+        }
+        out
+    }
+
+    /// The machine-readable report, hand-rolled JSON (the workspace
+    /// carries no serializer dependency).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"workload\":\"{}\",\"k\":{},\"txns\":{},\"certified\":{},\"diagnostics\":[",
+            esc(&self.workload),
+            self.k,
+            self.txn_count,
+            self.certified
+        );
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"where\":\"{}\",\"clause\":\"{}\",\"message\":\"{}\"}}",
+                d.code.as_str(),
+                d.severity.as_str(),
+                esc(&d.span.to_string()),
+                esc(d.code.clause()),
+                esc(&d.message)
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// JSON string escaping for the hand-rolled serializer.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(Code::BreakpointDepthMismatch.as_str(), "MLA001");
+        assert_eq!(Code::CertDenied.as_str(), "MLA021");
+        assert!(Code::CertIssued.clause().contains("§5"));
+    }
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let mut r = Report {
+            workload: "toy".into(),
+            k: 3,
+            txn_count: 2,
+            certified: true,
+            diagnostics: vec![
+                Diagnostic::new(Code::CertIssued, Severity::Note, Span::Spec, "ok"),
+                Diagnostic::new(
+                    Code::BreakpointDepthMismatch,
+                    Severity::Error,
+                    Span::Txn(TxnId(1)),
+                    "k is 4, nest is 3",
+                ),
+            ],
+        };
+        r.sort();
+        assert_eq!(r.diagnostics[0].code, Code::BreakpointDepthMismatch);
+        assert!(r.has_errors());
+        let text = r.render();
+        assert!(text.contains("certified"));
+        assert!(text.contains("MLA001"));
+        assert!(text.contains("t1"));
+        let json = r.to_json();
+        assert!(json.contains("\"code\":\"MLA001\""));
+        assert!(json.contains("\"certified\":true"));
+        assert!(json.contains("\"where\":\"t1\""));
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,87 @@
+//! `mla-lint` — static analysis for multilevel-atomicity breakpoint
+//! specifications.
+//!
+//! Three passes over a [`Workload`] (nest + programs + runtime
+//! breakpoints), each reporting stable `MLA0xx` codes through the
+//! [`diag`] framework:
+//!
+//! 1. **Well-formedness** ([`wellformed`], `MLA00x`) — the theory's
+//!    preconditions: matching breakpoint depth, honest introspection
+//!    under §6's prefix-compatibility probing, and the degenerate
+//!    parameterizations (`k = 2` ≡ serializability, density-1 ≡
+//!    unconstrained).
+//! 2. **Spec smells** ([`smells`], `MLA01x`) — legal but inert
+//!    structure: repeated nest levels, singleton classes, breakpoints no
+//!    partner can ever use.
+//! 3. **Static safety certification** ([`certify`], `MLA02x`) — §5's
+//!    Theorem 2 discharged over *all* interleavings at once via a
+//!    may-conflict graph over breakpoint-free segments; success mints a
+//!    [`mla_core::StaticCert`] that lets the `mla-cc` schedulers skip
+//!    incremental closure maintenance entirely.
+//!
+//! The `mla-lint` binary runs all three passes over the shipped
+//! workloads and renders a human table or JSON.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod certify;
+pub mod diag;
+pub mod profile;
+pub mod smells;
+pub mod wellformed;
+
+pub use certify::{certify_workload, Certification};
+pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use profile::TxnProfile;
+
+use mla_workload::Workload;
+
+/// Runs all three passes over a workload and assembles the report.
+pub fn analyze(workload: &Workload) -> Report {
+    let mut diagnostics = wellformed::run(workload);
+    diagnostics.extend(smells::run(workload));
+    let certification = certify_workload(workload);
+    diagnostics.extend(certification.diagnostics);
+    let mut report = Report {
+        workload: workload.name.clone(),
+        k: workload.nest.k(),
+        txn_count: workload.txn_count(),
+        certified: certification.cert.is_some(),
+        diagnostics,
+    };
+    report.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_workload::{banking, partitioned};
+
+    #[test]
+    fn partitioned_report_is_certified_and_clean_of_warnings() {
+        let wl = partitioned::generate(partitioned::PartitionedConfig::default()).workload;
+        let report = analyze(&wl);
+        assert!(report.certified);
+        assert!(!report.has_errors());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::CertIssued));
+        assert!(report.render().contains("MLA020"));
+        assert!(report.to_json().contains("\"certified\":true"));
+    }
+
+    #[test]
+    fn banking_report_carries_the_denial() {
+        let wl = banking::generate(banking::BankingConfig::default()).workload;
+        let report = analyze(&wl);
+        assert!(!report.certified);
+        assert!(!report.has_errors(), "the shipped spec is well-formed");
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::CertDenied));
+    }
+}

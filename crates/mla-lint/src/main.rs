@@ -1,0 +1,76 @@
+//! The `mla-lint` CLI: run the analyzer over the shipped workloads.
+//!
+//! ```text
+//! mla-lint [banking|cad|partitioned|all] [--json]
+//! ```
+//!
+//! With `--json` the reports are emitted as a JSON array; otherwise as
+//! human tables. Exit status 1 when any report contains an error-level
+//! diagnostic, 2 on usage errors.
+
+#![forbid(unsafe_code)]
+
+use mla_lint::analyze;
+use mla_workload::{banking, cad, partitioned, Workload};
+
+fn workload_by_name(name: &str) -> Option<Vec<Workload>> {
+    match name {
+        "banking" => Some(vec![
+            banking::generate(banking::BankingConfig::default()).workload,
+        ]),
+        "cad" => Some(vec![cad::generate(cad::CadConfig::default()).workload]),
+        "partitioned" => Some(vec![
+            partitioned::generate(partitioned::PartitionedConfig::default()).workload,
+        ]),
+        "all" => {
+            let mut all = Vec::new();
+            all.extend(workload_by_name("banking").unwrap());
+            all.extend(workload_by_name("cad").unwrap());
+            all.extend(workload_by_name("partitioned").unwrap());
+            Some(all)
+        }
+        _ => None,
+    }
+}
+
+fn main() {
+    let mut json = false;
+    let mut targets: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: mla-lint [banking|cad|partitioned|all] [--json]");
+                return;
+            }
+            name => targets.push(name.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    let mut workloads = Vec::new();
+    for t in &targets {
+        match workload_by_name(t) {
+            Some(w) => workloads.extend(w),
+            None => {
+                eprintln!(
+                    "mla-lint: unknown workload '{t}' (expected banking, cad, partitioned, or all)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let reports: Vec<_> = workloads.iter().map(analyze).collect();
+    if json {
+        let body: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        println!("[{}]", body.join(","));
+    } else {
+        for r in &reports {
+            print!("{}", r.render());
+        }
+    }
+    if reports.iter().any(|r| r.has_errors()) {
+        std::process::exit(1);
+    }
+}

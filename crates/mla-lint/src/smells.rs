@@ -1,0 +1,178 @@
+//! Pass 2 — spec smells: structure that is legal but buys nothing, the
+//! multilevel analogue of dead code.
+//!
+//! * `MLA010` — a nest level whose partition repeats the previous
+//!   level's (§4.2's chain `π(1) ⊇ … ⊇ π(k)` is non-strict there): the
+//!   level can be removed without changing which interleavings are
+//!   permitted.
+//! * `MLA011` — singleton classes at a mid level: those transactions
+//!   have no partners at that intimacy, so the finer level's extra
+//!   interleaving freedom is unused by them.
+//! * `MLA012` — a transaction declares (guarantees) breakpoints at a
+//!   level `l` although no other transaction is related to it at level
+//!   `>= l`: no `B_t(i)` segment boundary they create is ever visible
+//!   to a partner, so they can never enable an interleaving.
+
+use mla_model::TxnId;
+use mla_workload::Workload;
+
+use crate::diag::{Code, Diagnostic, Severity, Span};
+
+/// Runs the smells pass.
+pub fn run(w: &Workload) -> Vec<Diagnostic> {
+    let nest = &w.nest;
+    let k = nest.k();
+    let mut diags = Vec::new();
+    for i in nest.degenerate_levels() {
+        diags.push(Diagnostic::new(
+            Code::DegenerateLevel,
+            Severity::Warning,
+            Span::Level(i),
+            format!(
+                "π({i}) equals π({}) as a partition: the level adds no distinctions \
+                 and the nest is observationally {}-deep",
+                i - 1,
+                k - 1
+            ),
+        ));
+    }
+    for i in 2..k {
+        let singles = nest.classes_at(i).iter().filter(|c| c.len() == 1).count();
+        if singles > 0 {
+            diags.push(Diagnostic::new(
+                Code::SingletonClasses,
+                Severity::Note,
+                Span::Level(i),
+                format!(
+                    "{singles} singleton class(es) at level {i}: those transactions \
+                     have no partners this closely related"
+                ),
+            ));
+        }
+    }
+    // MLA012 needs each transaction's declared breakpoint levels; only
+    // statically visible declarations (guarantees) can be judged.
+    for (t, (program, bp)) in w.programs.iter().zip(&w.breakpoints).enumerate() {
+        if bp.k() != k {
+            continue; // MLA001 already owns this transaction.
+        }
+        let txn = TxnId(t as u32);
+        let mut declared: Vec<usize> = Vec::new();
+        if let Some(u) = bp.uniform_guarantee() {
+            declared.push(u);
+        }
+        if let Some(entities) = program.step_entities() {
+            for pos in 1..entities.len() {
+                if let Some(g) = bp.guaranteed_level_after(pos) {
+                    declared.push(g);
+                }
+            }
+        }
+        declared.retain(|l| (2..k).contains(l));
+        declared.sort_unstable();
+        declared.dedup();
+        if declared.is_empty() {
+            continue;
+        }
+        let max_partner_level = (0..w.txn_count())
+            .filter(|&u| u != t)
+            .map(|u| nest.level(txn, TxnId(u as u32)))
+            .max()
+            .unwrap_or(1);
+        for l in declared {
+            if l > max_partner_level {
+                diags.push(Diagnostic::new(
+                    Code::NeverEnabledBreakpoint,
+                    Severity::Warning,
+                    Span::Txn(txn),
+                    format!(
+                        "declares breakpoints at level {l} but its closest partner \
+                         is at level {max_partner_level}: they can never enable an \
+                         interleaving"
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_core::nest::Nest;
+    use mla_model::program::{ScriptOp::*, ScriptProgram};
+    use mla_model::{EntityId, Program};
+    use mla_txn::{NoBreakpoints, PhaseTable, RuntimeBreakpoints};
+    use std::sync::Arc;
+
+    fn toy(k: usize, bps: Vec<Arc<dyn RuntimeBreakpoints>>, paths: Vec<Vec<u32>>) -> Workload {
+        let n = bps.len();
+        Workload {
+            name: "toy".into(),
+            nest: Nest::new(k, paths).unwrap(),
+            programs: (0..n)
+                .map(|_| {
+                    Arc::new(ScriptProgram::new(vec![
+                        Add(EntityId(0), 1),
+                        Add(EntityId(1), 1),
+                    ])) as Arc<dyn Program + Send + Sync>
+                })
+                .collect(),
+            breakpoints: bps,
+            initial: vec![(EntityId(0), 0), (EntityId(1), 0)],
+            arrivals: vec![0; n],
+        }
+    }
+
+    #[test]
+    fn degenerate_level_and_singletons_reported() {
+        // Two txns in distinct level-2 classes: pi(3) repeats pi(2)
+        // (both already singleton), which also makes level 2 all
+        // singletons.
+        let wl = toy(
+            4,
+            vec![
+                Arc::new(NoBreakpoints { k: 4 }),
+                Arc::new(NoBreakpoints { k: 4 }),
+            ],
+            vec![vec![0, 0], vec![1, 1]],
+        );
+        let diags = run(&wl);
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&Code::DegenerateLevel));
+        assert!(codes.contains(&Code::SingletonClasses));
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::DegenerateLevel && d.span == Span::Level(3)));
+    }
+
+    #[test]
+    fn never_enabled_breakpoints_warn() {
+        // t0 breaks at level 3 but its only partner sits at level 2.
+        let wl = toy(
+            4,
+            vec![
+                Arc::new(PhaseTable::new(4, [(1, 3)])),
+                Arc::new(NoBreakpoints { k: 4 }),
+            ],
+            vec![vec![0, 0], vec![0, 1]],
+        );
+        let diags = run(&wl);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::NeverEnabledBreakpoint && d.span == Span::Txn(TxnId(0))));
+        // The same declaration with a level-3 partner is fine.
+        let wl = toy(
+            4,
+            vec![
+                Arc::new(PhaseTable::new(4, [(1, 3)])),
+                Arc::new(NoBreakpoints { k: 4 }),
+            ],
+            vec![vec![0, 0], vec![0, 0]],
+        );
+        assert!(run(&wl)
+            .iter()
+            .all(|d| d.code != Code::NeverEnabledBreakpoint));
+    }
+}

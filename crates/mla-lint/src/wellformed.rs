@@ -1,0 +1,269 @@
+//! Pass 1 — well-formedness: does the breakpoint specification satisfy
+//! the theory's preconditions, and does it actually constrain anything?
+//!
+//! * `MLA001` — a transaction's breakpoint depth differs from the
+//!   nest's `k` (the §4.3 specification is over one fixed nest).
+//! * `MLA002` — the breakpoint structure's static introspection is
+//!   inconsistent with its runtime behavior: a reported level falls
+//!   outside `2 .. k` (§4.2's refinement chain has breakpoints only at
+//!   the mid levels), or a guaranteed breakpoint fails to appear on the
+//!   all-zeros probe run. Straight-line programs are probed position by
+//!   position — §6's compatibility condition makes prefix probing
+//!   meaningful.
+//! * `MLA003` — `k = 2`: the whole apparatus collapses to classical
+//!   serializability (§4.3); the spec buys nothing over \[EGLT\].
+//! * `MLA004` — a transaction guarantees level-2 breakpoints after
+//!   every step (density 1 at the coarsest mid level): every
+//!   interleaving of it is permitted, as experiment E8's density sweep
+//!   shows, so it is unconstrained beyond single-step atomicity.
+
+use mla_model::{Step, TxnId};
+use mla_workload::Workload;
+
+use crate::diag::{Code, Diagnostic, Severity, Span};
+
+/// Runs the well-formedness pass.
+pub fn run(w: &Workload) -> Vec<Diagnostic> {
+    let k = w.nest.k();
+    let mut diags = Vec::new();
+    if k == 2 {
+        diags.push(Diagnostic::new(
+            Code::SerializabilityDegenerate,
+            Severity::Warning,
+            Span::Spec,
+            "k = 2: multilevel atomicity degenerates to classical serializability",
+        ));
+    }
+    for (t, (program, bp)) in w.programs.iter().zip(&w.breakpoints).enumerate() {
+        let txn = TxnId(t as u32);
+        if bp.k() != k {
+            diags.push(Diagnostic::new(
+                Code::BreakpointDepthMismatch,
+                Severity::Error,
+                Span::Txn(txn),
+                format!("breakpoint depth {} does not match the {k}-nest", bp.k()),
+            ));
+            // Probing a wrong-depth structure would only cascade noise.
+            continue;
+        }
+        let mid = 2..k;
+        if let Some(u) = bp.uniform_guarantee() {
+            if !mid.contains(&u) {
+                diags.push(Diagnostic::new(
+                    Code::IntrospectionInconsistent,
+                    Severity::Error,
+                    Span::Txn(txn),
+                    format!("uniform breakpoint guarantee at level {u}, outside 2..{k}"),
+                ));
+            } else if u == 2 {
+                diags.push(Diagnostic::new(
+                    Code::DensityOneUnconstrained,
+                    Severity::Warning,
+                    Span::Txn(txn),
+                    "level-2 breakpoints after every step: density 1 permits every \
+                     interleaving (E8); the transaction is unconstrained beyond \
+                     single-step atomicity",
+                ));
+            }
+        }
+        // Straight-line programs admit a synthetic probe run: values are
+        // all zero (breakpoint positions may depend on values, but
+        // *guaranteed* positions must hold on every run, this one
+        // included).
+        let Some(entities) = program.step_entities() else {
+            continue;
+        };
+        let steps: Vec<Step> = entities
+            .iter()
+            .enumerate()
+            .map(|(i, &entity)| Step {
+                txn,
+                seq: i as u32,
+                entity,
+                observed: 0,
+                wrote: 0,
+            })
+            .collect();
+        for pos in 1..steps.len() {
+            let actual = bp.min_level_after(&steps[..pos]);
+            if let Some(a) = actual {
+                if !mid.contains(&a) {
+                    diags.push(Diagnostic::new(
+                        Code::IntrospectionInconsistent,
+                        Severity::Error,
+                        Span::TxnPos(txn, pos),
+                        format!("breakpoint at level {a}, outside 2..{k}"),
+                    ));
+                }
+            }
+            let mut promised: Vec<usize> = Vec::new();
+            if let Some(g) = bp.guaranteed_level_after(pos) {
+                if !mid.contains(&g) {
+                    diags.push(Diagnostic::new(
+                        Code::IntrospectionInconsistent,
+                        Severity::Error,
+                        Span::TxnPos(txn, pos),
+                        format!("guaranteed breakpoint level {g}, outside 2..{k}"),
+                    ));
+                } else {
+                    promised.push(g);
+                }
+            }
+            if let Some(u) = bp.uniform_guarantee().filter(|u| mid.contains(u)) {
+                promised.push(u);
+            }
+            for g in promised {
+                if actual.is_none_or(|a| a > g) {
+                    diags.push(Diagnostic::new(
+                        Code::IntrospectionInconsistent,
+                        Severity::Error,
+                        Span::TxnPos(txn, pos),
+                        format!(
+                            "a level-{g} breakpoint is guaranteed here but the probe \
+                             run reports {}",
+                            match actual {
+                                Some(a) => format!("level {a}"),
+                                None => "none".to_string(),
+                            }
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_core::nest::Nest;
+    use mla_model::program::{ScriptOp::*, ScriptProgram};
+    use mla_model::{EntityId, LocalState, Program, Value};
+    use mla_txn::{EveryStep, NoBreakpoints, PhaseTable, RuntimeBreakpoints};
+    use std::sync::Arc;
+
+    fn toy(k: usize, bps: Vec<Arc<dyn RuntimeBreakpoints>>, paths: Vec<Vec<u32>>) -> Workload {
+        let n = bps.len();
+        Workload {
+            name: "toy".into(),
+            nest: Nest::new(k, paths).unwrap(),
+            programs: (0..n)
+                .map(|_| {
+                    Arc::new(ScriptProgram::new(vec![
+                        Add(EntityId(0), 1),
+                        Add(EntityId(1), 1),
+                    ])) as Arc<dyn Program + Send + Sync>
+                })
+                .collect(),
+            breakpoints: bps,
+            initial: vec![(EntityId(0), 0), (EntityId(1), 0)],
+            arrivals: vec![0; n],
+        }
+    }
+
+    #[test]
+    fn depth_mismatch_is_an_error() {
+        let wl = toy(
+            3,
+            vec![
+                Arc::new(NoBreakpoints { k: 3 }),
+                Arc::new(NoBreakpoints { k: 4 }),
+            ],
+            vec![vec![0], vec![0]],
+        );
+        let diags = run(&wl);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::BreakpointDepthMismatch);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].span, Span::Txn(TxnId(1)));
+    }
+
+    #[test]
+    fn k2_and_density_one_degeneracies_warn() {
+        let wl = toy(2, vec![Arc::new(NoBreakpoints { k: 2 })], vec![Vec::new()]);
+        let diags = run(&wl);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::SerializabilityDegenerate);
+
+        let wl = toy(
+            3,
+            vec![
+                Arc::new(EveryStep { k: 3, level: 2 }),
+                Arc::new(NoBreakpoints { k: 3 }),
+            ],
+            vec![vec![0], vec![0]],
+        );
+        let diags = run(&wl);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::DensityOneUnconstrained);
+        assert_eq!(diags[0].span, Span::Txn(TxnId(0)));
+    }
+
+    #[test]
+    fn clean_spec_produces_no_diagnostics() {
+        let wl = toy(
+            3,
+            vec![
+                Arc::new(PhaseTable::new(3, [(1, 2)])),
+                Arc::new(NoBreakpoints { k: 3 }),
+            ],
+            vec![vec![0], vec![0]],
+        );
+        assert!(run(&wl).is_empty());
+    }
+
+    /// A deliberately lying introspection: promises a guaranteed level-2
+    /// breakpoint that `min_level_after` never reports.
+    struct Liar;
+    impl RuntimeBreakpoints for Liar {
+        fn k(&self) -> usize {
+            3
+        }
+        fn min_level_after(&self, _prefix: &[Step]) -> Option<usize> {
+            None
+        }
+        fn guaranteed_level_after(&self, pos: usize) -> Option<usize> {
+            (pos == 1).then_some(2)
+        }
+    }
+
+    #[test]
+    fn dishonored_guarantee_is_caught_by_the_probe() {
+        let wl = toy(
+            3,
+            vec![Arc::new(Liar), Arc::new(NoBreakpoints { k: 3 })],
+            vec![vec![0], vec![0]],
+        );
+        let diags = run(&wl);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::IntrospectionInconsistent);
+        assert_eq!(diags[0].span, Span::TxnPos(TxnId(0), 1));
+        assert!(diags[0].message.contains("guaranteed"));
+    }
+
+    /// A value-dependent program: the probe must simply skip it.
+    struct Opaque;
+    impl Program for Opaque {
+        fn start(&self) -> LocalState {
+            LocalState::zeroed(0)
+        }
+        fn next_entity(&self, _state: &LocalState) -> Option<EntityId> {
+            None
+        }
+        fn apply(&self, state: &LocalState, _observed: Value) -> (LocalState, Value) {
+            (state.clone(), 0)
+        }
+    }
+
+    #[test]
+    fn opaque_programs_are_not_probed() {
+        let mut wl = toy(
+            3,
+            vec![Arc::new(Liar), Arc::new(NoBreakpoints { k: 3 })],
+            vec![vec![0], vec![0]],
+        );
+        wl.programs[0] = Arc::new(Opaque);
+        assert!(run(&wl).is_empty(), "no straight-line steps, no probe");
+    }
+}

@@ -62,6 +62,35 @@ pub trait Program {
     /// announced by [`Program::next_entity`]; returns the successor state
     /// and the value left in the entity.
     fn apply(&self, state: &LocalState, observed: Value) -> (LocalState, Value);
+
+    /// Static introspection: the exact entity sequence every run touches,
+    /// in step order, when the program's access pattern is
+    /// observation-independent (straight-line). `None` for branching
+    /// programs whose step sequence depends on observed values.
+    ///
+    /// Consumers (the `mla-lint` static certifier) treat `Some` as a
+    /// promise: *every* run performs exactly these accesses in exactly
+    /// this order.
+    fn step_entities(&self) -> Option<Vec<EntityId>> {
+        None
+    }
+
+    /// Static introspection: an over-approximation of the entities *any*
+    /// run may touch, in no particular order, each accessed **at most
+    /// once** per run. Branching programs whose step order is
+    /// value-dependent but whose entity universe is fixed implement this;
+    /// straight-line programs inherit it from
+    /// [`Program::step_entities`] (only when no entity repeats — a
+    /// repeated entity is not an "at most once" footprint). `None` means
+    /// the program cannot describe itself and static analyses must treat
+    /// its footprint as unknown.
+    fn may_footprint(&self) -> Option<Vec<EntityId>> {
+        let entities = self.step_entities()?;
+        let mut sorted = entities.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        (sorted.len() == entities.len()).then_some(sorted)
+    }
 }
 
 /// A straight-line script program: a fixed list of operations, one per
@@ -131,6 +160,22 @@ impl Program for ScriptProgram {
             }
         };
         (next, wrote)
+    }
+
+    fn step_entities(&self) -> Option<Vec<EntityId>> {
+        // Straight-line by construction: every run performs exactly the
+        // script, whatever it observes.
+        Some(
+            self.ops
+                .iter()
+                .map(|op| match op {
+                    ScriptOp::Read(e)
+                    | ScriptOp::Write(e, _)
+                    | ScriptOp::Add(e, _)
+                    | ScriptOp::Accumulate(e) => *e,
+                })
+                .collect(),
+        )
     }
 }
 

@@ -77,6 +77,15 @@ pub trait Control {
     fn parallel_stats(&self) -> Option<ParallelStats> {
         None
     }
+
+    /// Decisions granted on a static-certificate fast path without
+    /// consulting a closure engine (controls holding an `mla-lint`
+    /// `StaticCert`). The simulator records the count in
+    /// [`crate::Metrics::certified_skips`] at the end of the run;
+    /// uncertified and classical controls keep the default 0.
+    fn certified_skips(&self) -> u64 {
+        0
+    }
 }
 
 /// The trivial control: grants everything. Produces arbitrary

@@ -46,6 +46,10 @@ pub struct Metrics {
     /// quantities — deliberately excluded from determinism comparisons,
     /// unlike every other field.
     pub parallel: Option<ParallelStats>,
+    /// Decisions granted on a static-certificate fast path, skipping
+    /// closure maintenance entirely (0 for controls without an
+    /// `mla-lint` `StaticCert`).
+    pub certified_skips: u64,
 }
 
 impl Metrics {

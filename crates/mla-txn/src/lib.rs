@@ -45,6 +45,31 @@ pub trait RuntimeBreakpoints: Send + Sync {
     /// level 1 nowhere; neither is reported.)
     fn min_level_after(&self, prefix: &[Step]) -> Option<usize>;
 
+    /// Static introspection: the minimum breakpoint level **guaranteed**
+    /// after a prefix of length `pos` in *every* run, or `None` when no
+    /// level is guaranteed there (including value-dependent structures,
+    /// which place breakpoints at run-dependent positions). Position-based
+    /// implementations report exactly their [`min_level_after`]
+    /// (which ignores values); the conservative default guarantees
+    /// nothing, which is always sound for static analyses.
+    ///
+    /// [`min_level_after`]: RuntimeBreakpoints::min_level_after
+    fn guaranteed_level_after(&self, pos: usize) -> Option<usize> {
+        let _ = pos;
+        None
+    }
+
+    /// Static introspection: a level `l` such that after **every**
+    /// non-final prefix, every run has a breakpoint of level `<= l` —
+    /// a uniform density guarantee. `None` when some prefix may lack a
+    /// mid-level breakpoint entirely. The banking transfer's breakpoints
+    /// are the motivating case: the level-2 phase boundary floats with
+    /// observed values, but levels `<= 3` break after every step in
+    /// every run.
+    fn uniform_guarantee(&self) -> Option<usize> {
+        None
+    }
+
     /// Builds the offline description of a completed run.
     fn to_description(&self, steps: &[Step]) -> BreakpointDescription {
         let k = self.k();
@@ -100,6 +125,14 @@ impl RuntimeBreakpoints for EveryStep {
     fn min_level_after(&self, _prefix: &[Step]) -> Option<usize> {
         Some(self.level)
     }
+
+    fn guaranteed_level_after(&self, pos: usize) -> Option<usize> {
+        (pos > 0).then_some(self.level)
+    }
+
+    fn uniform_guarantee(&self) -> Option<usize> {
+        Some(self.level)
+    }
 }
 
 /// Breakpoints at fixed step positions: `boundaries[p] = level` places a
@@ -132,6 +165,11 @@ impl RuntimeBreakpoints for PhaseTable {
 
     fn min_level_after(&self, prefix: &[Step]) -> Option<usize> {
         self.boundaries.get(&prefix.len()).copied()
+    }
+
+    fn guaranteed_level_after(&self, pos: usize) -> Option<usize> {
+        // Purely position-based, so the runtime answer is the guarantee.
+        self.boundaries.get(&pos).copied()
     }
 }
 

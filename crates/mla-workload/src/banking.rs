@@ -179,6 +179,22 @@ impl Program for TransferProgram {
             (next, observed + dep)
         }
     }
+
+    fn may_footprint(&self) -> Option<Vec<EntityId>> {
+        // The step *sequence* is value-dependent (early exit, skipped
+        // deposits), but the entity universe is fixed: some prefix of the
+        // sources then some prefix of the targets, each at most once
+        // (generation keeps sources and targets disjoint and distinct).
+        let mut all: Vec<EntityId> = self
+            .sources
+            .iter()
+            .chain(self.targets.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        (all.len() == self.sources.len() + self.targets.len()).then_some(all)
+    }
 }
 
 /// Runtime breakpoints for a transfer: a level-2 breakpoint exactly at
@@ -219,6 +235,13 @@ impl RuntimeBreakpoints for TransferBreakpoints {
         } else {
             Some(3)
         }
+    }
+
+    fn uniform_guarantee(&self) -> Option<usize> {
+        // Every run answers Some(2) or Some(3) after every step: level 3
+        // (and deeper) breaks everywhere, whatever the values did to the
+        // phase boundary's position.
+        Some(3)
     }
 }
 

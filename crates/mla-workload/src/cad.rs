@@ -124,6 +124,25 @@ impl RuntimeBreakpoints for ModificationBreakpoints {
             Some(4)
         }
     }
+
+    fn guaranteed_level_after(&self, pos: usize) -> Option<usize> {
+        // Purely periodic in the prefix length, so the runtime answer is
+        // the static guarantee.
+        if pos == 0 {
+            return None;
+        }
+        if self.level2_unit > 0 && pos.is_multiple_of(self.level2_unit) {
+            Some(2)
+        } else if self.level3_unit > 0 && pos.is_multiple_of(self.level3_unit) {
+            Some(3)
+        } else {
+            Some(4)
+        }
+    }
+
+    fn uniform_guarantee(&self) -> Option<usize> {
+        Some(4)
+    }
 }
 
 /// Generates the CAD workload.

@@ -107,4 +107,12 @@ impl Program for ArcProgram {
     fn apply(&self, state: &LocalState, observed: Value) -> (LocalState, Value) {
         self.0.apply(state, observed)
     }
+
+    fn step_entities(&self) -> Option<Vec<EntityId>> {
+        self.0.step_entities()
+    }
+
+    fn may_footprint(&self) -> Option<Vec<EntityId>> {
+        self.0.may_footprint()
+    }
 }

@@ -25,6 +25,8 @@
 //! * [`cc`] — concurrency controls: serial, strict 2PL, timestamp
 //!   ordering, SGT, MLA cycle detection, MLA cycle prevention.
 //! * [`workload`] — banking, CAD, and synthetic workload generators.
+//! * [`lint`] — static breakpoint-spec analysis: well-formedness, spec
+//!   smells, and §5 safety certification with stable `MLA0xx` codes.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@
 pub use mla_cc as cc;
 pub use mla_core as core;
 pub use mla_graph as graph;
+pub use mla_lint as lint;
 pub use mla_model as model;
 pub use mla_sim as sim;
 pub use mla_storage as storage;

@@ -1,0 +1,244 @@
+//! Soundness of `mla-lint`'s §5 static safety certificates.
+//!
+//! A [`StaticCert`](multilevel_atomicity::core::StaticCert) claims that
+//! *no* interleaving of the certified workload can fail Theorem 2. Two
+//! consequences are tested here, over a sweep of randomly generated
+//! partitioned-ish workloads (universe-local scripts touching a shared
+//! entity at most once, random level-2 breakpoints — some certify, some
+//! are denied; the sweep asserts both outcomes occur):
+//!
+//! 1. **Theorem oracle.** For every workload that certifies, random
+//!    genuine executions (uniformly random live-transaction schedules,
+//!    the same construction the experiment harness uses) must all be
+//!    judged correctable by the offline Theorem 2 decision procedure.
+//!    One counterexample falsifies the certificate.
+//! 2. **Byte-identical histories.** The certified `MlaDetect` fast path
+//!    must be observationally invisible: its simulated history equals
+//!    the uncertified control's, and the uncertified control itself is
+//!    run across the six backend shapes of the differential harness —
+//!    serial unsharded, sharded ×1, sharded ×4, and thread-parallel
+//!    4×2, 4×4, 8×3 — all of which must agree. (On a certified workload
+//!    no decision is ever denied, so no victim policy fires and every
+//!    shape walks the same grant sequence.)
+//!
+//! Denied workloads are exercised too: denial must come with a concrete
+//! mixed-cycle witness diagnostic, never silently.
+
+use std::sync::Arc;
+
+use multilevel_atomicity::cc::{oracle, MlaDetect, VictimPolicy};
+use multilevel_atomicity::core::theorem::is_correctable;
+use multilevel_atomicity::lint::{certify_workload, Code};
+use multilevel_atomicity::model::program::{ScriptOp, ScriptProgram};
+use multilevel_atomicity::model::{EntityId, Execution, TxnId};
+use multilevel_atomicity::sim::{run, SimConfig, SimOutcome};
+use multilevel_atomicity::txn::{NoBreakpoints, PhaseTable, RuntimeBreakpoints};
+use multilevel_atomicity::workload::partitioned::{generate, PartitionedConfig};
+use multilevel_atomicity::workload::Workload;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A random workload in the partitioned family: each transaction lives
+/// in one universe, touches its shared entity at most once, and may
+/// carry level-2 breakpoints. Enough structure that many instances
+/// certify; enough freedom (repeated shared access, breakpoint-free
+/// multi-access transactions) that many are denied.
+fn random_workload(rng: &mut SmallRng) -> Workload {
+    let k = 3;
+    let universes = rng.gen_range(1..=3usize);
+    let n = rng.gen_range(2..=6usize);
+    let mut programs: Vec<Arc<dyn multilevel_atomicity::model::Program + Send + Sync>> = Vec::new();
+    let mut breakpoints: Vec<Arc<dyn RuntimeBreakpoints>> = Vec::new();
+    let mut paths: Vec<Vec<u32>> = Vec::new();
+    let mut arrivals: Vec<u64> = Vec::new();
+    let mut entities: Vec<EntityId> = (0..universes as u32).map(EntityId).collect();
+    for t in 0..n {
+        let u = rng.gen_range(0..universes);
+        let len = rng.gen_range(1..=4usize);
+        // Usually at most one shared access; sometimes more, which can
+        // open a mixed cycle and deny certification.
+        let shared_budget = if rng.gen_bool(0.8) { 1 } else { 2 };
+        let mut shared_used = 0;
+        let mut ops = Vec::with_capacity(len);
+        for i in 0..len {
+            let ent = if shared_used < shared_budget && rng.gen_bool(0.5) {
+                shared_used += 1;
+                EntityId(u as u32)
+            } else {
+                EntityId(((1 + t * 4 + i) * universes + u) as u32)
+            };
+            entities.push(ent);
+            ops.push(ScriptOp::Add(ent, 1));
+        }
+        let bp: Arc<dyn RuntimeBreakpoints> = if len > 1 && rng.gen_bool(0.6) {
+            let marks: Vec<(usize, usize)> = (1..len)
+                .filter(|_| rng.gen_bool(0.5))
+                .map(|p| (p, 2))
+                .collect();
+            Arc::new(PhaseTable::new(k, marks))
+        } else {
+            Arc::new(NoBreakpoints { k })
+        };
+        programs.push(Arc::new(ScriptProgram::new(ops)));
+        breakpoints.push(bp);
+        paths.push(vec![u as u32]);
+        arrivals.push(rng.gen_range(0..8u64) * 2);
+    }
+    entities.sort_unstable();
+    entities.dedup();
+    Workload {
+        name: "random-partitioned-ish".to_string(),
+        nest: multilevel_atomicity::core::nest::Nest::new(k, paths)
+            .expect("one universe path per transaction"),
+        programs,
+        breakpoints,
+        initial: entities.into_iter().map(|e| (e, 0)).collect(),
+        arrivals,
+    }
+}
+
+/// A genuine, value-correct execution under a uniformly random
+/// interleaving (the experiment harness's construction).
+fn random_execution(wl: &Workload, rng: &mut SmallRng) -> Execution {
+    let sys = wl.system();
+    let mut schedule: Vec<TxnId> = Vec::new();
+    let mut finished = vec![false; wl.txn_count()];
+    let mut exec = Execution::empty();
+    while schedule.len() < 256 {
+        let live: Vec<u32> = (0..wl.txn_count() as u32)
+            .filter(|&t| !finished[t as usize])
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        let t = live[rng.gen_range(0..live.len())];
+        schedule.push(TxnId(t));
+        match sys.run_schedule(&schedule) {
+            Ok(e) => exec = e,
+            Err(_) => {
+                schedule.pop();
+                finished[t as usize] = true;
+            }
+        }
+    }
+    exec
+}
+
+fn detect_run(wl: &Workload, control: &mut MlaDetect, seed: u64) -> SimOutcome {
+    run(
+        wl.nest.clone(),
+        wl.instances(),
+        wl.initial.iter().copied(),
+        &wl.arrivals,
+        &SimConfig::seeded(seed),
+        control,
+    )
+}
+
+/// The six backend shapes of the differential harness, as `MlaDetect`
+/// configurations: (shards, workers), with (0, 0) the unsharded engine.
+const SHAPES: [(usize, usize); 6] = [(0, 0), (1, 0), (4, 0), (4, 2), (4, 4), (8, 3)];
+
+fn shaped(wl: &Workload, shards: usize, workers: usize) -> MlaDetect {
+    let mut c = MlaDetect::new(wl.spec(), VictimPolicy::FewestSteps);
+    if shards > 0 {
+        c = c.with_shards(shards);
+    }
+    if workers > 0 {
+        c = c.with_parallelism(workers);
+    }
+    c
+}
+
+#[test]
+fn certificates_are_sound_on_random_workloads() {
+    let mut certified = 0usize;
+    let mut denied = 0usize;
+    for seed in 0..60u64 {
+        let mut rng = SmallRng::seed_from_u64(0xCE27_0000 + seed);
+        let wl = random_workload(&mut rng);
+        let certification = certify_workload(&wl);
+        let Some(cert) = certification.cert else {
+            // Denial must carry the witness diagnostic, never be silent.
+            assert!(
+                certification
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.code == Code::CertDenied),
+                "seed {seed}: denial without an MLA021 witness"
+            );
+            denied += 1;
+            continue;
+        };
+        certified += 1;
+        // 1. The theorem oracle agrees with the certificate on random
+        //    genuine executions.
+        for _ in 0..3 {
+            let exec = random_execution(&wl, &mut rng);
+            if exec.steps().is_empty() {
+                continue;
+            }
+            assert!(
+                is_correctable(&exec, &wl.nest, &wl.spec())
+                    .expect("random execution matches nest and spec"),
+                "seed {seed}: certified workload produced an uncorrectable execution"
+            );
+        }
+        // 2. Certified fast path is history-invisible, across all six
+        //    uncertified backend shapes.
+        let mut fast = MlaDetect::new(wl.spec(), VictimPolicy::FewestSteps).with_static_cert(cert);
+        let out_fast = detect_run(&wl, &mut fast, seed);
+        assert!(
+            fast.certified_skips > 0 && fast.certified_skips == fast.checks,
+            "seed {seed}: certified run fell off the fast path"
+        );
+        assert!(oracle::is_correctable_outcome(
+            &out_fast,
+            &wl.nest,
+            &wl.spec()
+        ));
+        for (shards, workers) in SHAPES {
+            let mut base = shaped(&wl, shards, workers);
+            let out_base = detect_run(&wl, &mut base, seed);
+            assert_eq!(
+                out_base.metrics.aborts, 0,
+                "seed {seed}: certified workload aborted on shape {shards}x{workers}"
+            );
+            assert_eq!(
+                out_base.execution.steps(),
+                out_fast.execution.steps(),
+                "seed {seed}: shape {shards}x{workers} history diverged from the certified run"
+            );
+        }
+    }
+    // The sweep only means something if both verdicts actually occur.
+    assert!(certified >= 5, "only {certified} of 60 workloads certified");
+    assert!(denied >= 5, "only {denied} of 60 workloads denied");
+}
+
+#[test]
+fn certified_partitioned_history_is_identical_across_backends() {
+    let p = generate(PartitionedConfig {
+        partitions: 2,
+        txns_per_partition: 8,
+        scanner_len: 8,
+        arrival_spacing: 2,
+    });
+    let wl = &p.workload;
+    let cert = certify_workload(wl)
+        .cert
+        .expect("the partitioned workload must certify");
+    let mut fast = MlaDetect::new(wl.spec(), VictimPolicy::FewestSteps).with_static_cert(cert);
+    let out_fast = detect_run(wl, &mut fast, 7);
+    assert_eq!(out_fast.metrics.committed as usize, wl.txn_count());
+    assert_eq!(out_fast.metrics.certified_skips, fast.certified_skips);
+    for (shards, workers) in SHAPES {
+        let mut base = shaped(wl, shards, workers);
+        let out_base = detect_run(wl, &mut base, 7);
+        assert_eq!(
+            out_base.execution.steps(),
+            out_fast.execution.steps(),
+            "shape {shards}x{workers}"
+        );
+    }
+}
