@@ -1,0 +1,21 @@
+//! Fixed-seed PR6 bench runner: scheduler replay suites plus the live
+//! `mla-serve` throughput row. Prints the tables and writes
+//! machine-readable JSON (default `BENCH_PR6.json`; override with
+//! `--json <path>`). Pass `--quick` for the reduced sweep.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    let tables = mla_bench::perf::run(quick);
+    for table in &tables {
+        println!("{}", table.render());
+    }
+    let body: Vec<String> = tables.iter().map(|t| t.to_json()).collect();
+    std::fs::write(&json_path, format!("[{}]", body.join(","))).expect("write json results");
+    eprintln!("wrote {json_path}");
+}

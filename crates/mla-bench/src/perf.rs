@@ -1,0 +1,183 @@
+//! The PR6 perf trajectory: a fixed-seed bench runner whose output is
+//! committed as `BENCH_PR6.json`, so later PRs can diff a machine-readable
+//! baseline instead of eyeballing experiment prose.
+//!
+//! Two tables:
+//!
+//! * **scheduler replay** — the simulated-clock suites every prior PR
+//!   reported on (banking, CAD, partitioned at 1/4/8 shards, certified
+//!   replay), each cell verified against the offline checker by
+//!   [`run_cell`];
+//! * **mla-serve** — the live service: real worker threads on MVCC
+//!   storage, wall-clock throughput and tail latency.
+//!
+//! Wall-clock columns move with the host; the committed/aborts/defers
+//! columns are deterministic (seeded simulation, certified fast-path
+//! drain) and are the regression tripwires.
+
+use std::time::Duration;
+
+use mla_cc::VictimPolicy;
+use mla_serve::{partitioned_load, run as serve_run, SchedKind, ServeConfig};
+use mla_workload::{banking, cad, partitioned};
+
+use crate::runner::{run_cell, ControlKind};
+use crate::table::{f2, Table};
+
+/// The fixed seed every replay cell uses.
+pub const SEED: u64 = 0x6B;
+
+fn replay_row(table: &mut Table, row: &str, wl: &mla_workload::Workload, kind: ControlKind) {
+    let cell = run_cell(wl, kind, SEED);
+    let m = &cell.outcome.metrics;
+    table.row(vec![
+        row.to_string(),
+        kind.label().to_string(),
+        f2(cell.wall_seconds * 1e3),
+        m.committed.to_string(),
+        m.aborts.to_string(),
+        m.defers.to_string(),
+        f2(m.throughput_per_kilotick()),
+    ]);
+}
+
+/// The simulated-clock replay table.
+pub fn replay_table(quick: bool) -> Table {
+    let mut table = Table::new(
+        "BENCH PR6: scheduler replay (simulated clock, seed 0x6B)",
+        &[
+            "workload", "control", "wall-ms", "commits", "aborts", "defers", "thru/kt",
+        ],
+    );
+
+    let bank = if quick {
+        banking::BankingConfig {
+            transfers: 16,
+            ..Default::default()
+        }
+    } else {
+        banking::BankingConfig::default()
+    };
+    let bank = banking::generate(bank).workload;
+    replay_row(
+        &mut table,
+        "banking",
+        &bank,
+        ControlKind::MlaDetect(VictimPolicy::FewestSteps),
+    );
+    replay_row(
+        &mut table,
+        "banking",
+        &bank,
+        ControlKind::MlaPrevent(VictimPolicy::FewestSteps),
+    );
+
+    let cad = cad::generate(cad::CadConfig::default()).workload;
+    replay_row(
+        &mut table,
+        "cad",
+        &cad,
+        ControlKind::MlaPrevent(VictimPolicy::FewestSteps),
+    );
+
+    let part = if quick {
+        partitioned::PartitionedConfig {
+            partitions: 4,
+            txns_per_partition: 12,
+            scanner_len: 12,
+            arrival_spacing: 2,
+        }
+    } else {
+        partitioned::PartitionedConfig::default()
+    };
+    let part = partitioned::generate(part).workload;
+    for shards in [1usize, 4, 8] {
+        replay_row(
+            &mut table,
+            &format!("partitioned/{shards}"),
+            &part,
+            ControlKind::MlaDetectSharded(VictimPolicy::FewestSteps, shards),
+        );
+    }
+    replay_row(
+        &mut table,
+        "partitioned",
+        &part,
+        ControlKind::MlaDetectCertified(VictimPolicy::FewestSteps),
+    );
+    replay_row(
+        &mut table,
+        "partitioned",
+        &part,
+        ControlKind::MlaPreventCertified(VictimPolicy::FewestSteps),
+    );
+    table
+}
+
+/// The live-service table: certified partitioned drain on worker
+/// threads, wall-clock throughput with tail latency.
+pub fn serve_table(quick: bool) -> Table {
+    let mut table = Table::new(
+        "BENCH PR6: mla-serve (live threads, MVCC storage, wall clock)",
+        &[
+            "sessions", "txns", "sched", "commits", "drain-ms", "txn/s", "p50-us", "p95-us",
+            "p99-us",
+        ],
+    );
+    let (sessions, per_session) = if quick { (64, 25) } else { (128, 800) };
+    let load = partitioned_load(sessions, per_session);
+    let config = ServeConfig {
+        sched: SchedKind::Prevent,
+        workers: 4,
+        certified: true,
+        deadline: Duration::from_secs(300),
+        ..Default::default()
+    };
+    let report = serve_run(&load, &config);
+    assert!(
+        report.clean,
+        "bench drain must complete before the deadline"
+    );
+    assert_eq!(report.snapshot_violations, 0, "snapshot probes must hold");
+    assert_eq!(
+        report.committed,
+        (sessions * per_session) as u64,
+        "every submitted transaction must commit"
+    );
+    table.row(vec![
+        sessions.to_string(),
+        per_session.to_string(),
+        report.sched.clone(),
+        report.committed.to_string(),
+        f2(report.wall.as_secs_f64() * 1e3),
+        f2(report.throughput),
+        report.p50_us.to_string(),
+        report.p95_us.to_string(),
+        report.p99_us.to_string(),
+    ]);
+    table
+}
+
+/// Runs the whole PR6 bench suite.
+pub fn run(quick: bool) -> Vec<Table> {
+    vec![replay_table(quick), serve_table(quick)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_produces_both_tables() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(
+            tables[0].len(),
+            8,
+            "replay rows: 2 banking + cad + 3 shard + 2 cert"
+        );
+        assert_eq!(tables[1].len(), 1, "one serve throughput row");
+        // The serve row committed everything it was offered.
+        assert_eq!(tables[1].cell(0, 3), "1600");
+    }
+}

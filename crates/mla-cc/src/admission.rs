@@ -1,0 +1,139 @@
+//! The admission view: what the §6 schedulers actually need to know
+//! about the world they are gating.
+//!
+//! [`MlaDetect`](crate::MlaDetect) and [`MlaPrevent`](crate::MlaPrevent)
+//! were written against the simulator's [`World`], but nothing in their
+//! decision procedure is simulator-specific: a decision consults the
+//! nest, each transaction's progress (performed prefix length, breakpoint
+//! state, finished/committed status), the candidate step, and — only on
+//! the certificate-voiding replay path — the live history. This trait
+//! names exactly that surface, so the same scheduler cores gate step
+//! admission for the tick-driven simulator *and* for `mla-serve`'s
+//! thread-per-core service against live MVCC storage. The simulator's
+//! `World` is one implementation (a thin adapter over
+//! [`mla_storage::StepSource`]); the service's admission gate is the
+//! other.
+
+use mla_core::nest::Nest;
+use mla_model::{Step, TxnId};
+use mla_sim::{TxnStatus, World};
+use mla_storage::StepSource;
+
+/// Read-only view of the transactions competing for admission.
+pub trait AdmissionView {
+    /// The k-nest relating the transactions.
+    fn nest(&self) -> &Nest;
+
+    /// Whether `t` is (tentatively) committed.
+    fn is_committed(&self, t: TxnId) -> bool;
+
+    /// Whether `t` has performed every step of its program.
+    fn is_finished(&self, t: TxnId) -> bool;
+
+    /// Number of steps `t` has performed in its current incarnation.
+    fn performed_seq(&self, t: TxnId) -> u32;
+
+    /// Whether `t`'s current position is a breakpoint of at least
+    /// `level` (true before the first and after the last step).
+    fn at_breakpoint(&self, t: TxnId, level: usize) -> bool;
+
+    /// The step `t` is requesting admission for. Values are zero — the
+    /// closure is order- and entity-based, never value-based.
+    fn candidate(&self, t: TxnId) -> Step;
+
+    /// The live history in performance order (certificate-voiding engine
+    /// replay; never on the grant fast path).
+    fn history_steps(&self) -> Vec<Step>;
+
+    /// `level(a, b)` from the nest.
+    fn level(&self, a: TxnId, b: TxnId) -> usize {
+        self.nest().level(a, b)
+    }
+}
+
+impl AdmissionView for World {
+    fn nest(&self) -> &Nest {
+        &self.nest
+    }
+
+    fn is_committed(&self, t: TxnId) -> bool {
+        self.status[t.index()] == TxnStatus::Committed
+    }
+
+    fn is_finished(&self, t: TxnId) -> bool {
+        self.instance(t).is_finished()
+    }
+
+    fn performed_seq(&self, t: TxnId) -> u32 {
+        self.instance(t).seq()
+    }
+
+    fn at_breakpoint(&self, t: TxnId, level: usize) -> bool {
+        self.instance(t).at_breakpoint(level)
+    }
+
+    fn candidate(&self, t: TxnId) -> Step {
+        let inst = self.instance(t);
+        Step {
+            txn: t,
+            seq: inst.seq(),
+            entity: inst.next_entity().expect("candidate for a live step"),
+            observed: 0,
+            wrote: 0,
+        }
+    }
+
+    fn history_steps(&self) -> Vec<Step> {
+        self.store.live_steps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mla_model::program::{ScriptOp, ScriptProgram};
+    use mla_model::EntityId;
+    use mla_sim::Metrics;
+    use mla_storage::Store;
+    use mla_txn::{NoBreakpoints, TxnInstance};
+    use std::sync::Arc;
+
+    #[test]
+    fn world_view_mirrors_world_state() {
+        let mut w = World {
+            store: Store::new([(EntityId(0), 5)]),
+            instances: vec![TxnInstance::new(
+                TxnId(0),
+                Arc::new(ScriptProgram::new(vec![
+                    ScriptOp::Add(EntityId(0), 1),
+                    ScriptOp::Add(EntityId(1), 1),
+                ])),
+                Arc::new(NoBreakpoints { k: 2 }),
+            )],
+            status: vec![TxnStatus::Running],
+            nest: Nest::flat(1),
+            clock: 0,
+            metrics: Metrics::default(),
+        };
+        let view: &dyn Fn(&World) -> _ = &|w: &World| {
+            (
+                w.candidate(TxnId(0)),
+                w.performed_seq(TxnId(0)),
+                w.is_finished(TxnId(0)),
+                w.is_committed(TxnId(0)),
+            )
+        };
+        let (c, seq, fin, com) = view(&w);
+        assert_eq!((c.seq, c.entity), (0, EntityId(0)));
+        assert_eq!((seq, fin, com), (0, false, false));
+        let s = w.instances[0].perform(5);
+        w.store.perform(TxnId(0), s.seq, s.entity, |_| s.wrote);
+        let (c, seq, _, _) = view(&w);
+        assert_eq!((c.seq, c.entity), (1, EntityId(1)));
+        assert_eq!(seq, 1);
+        assert_eq!(w.history_steps().len(), 1);
+        assert_eq!(w.history_steps()[0].wrote, 6);
+        w.status[0] = TxnStatus::Committed;
+        assert!(w.is_committed(TxnId(0)));
+    }
+}

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod hier_lock;
 pub mod mla_detect;
 pub mod mla_prevent;
@@ -30,8 +31,10 @@ pub mod sgt;
 pub mod timestamp;
 pub mod two_phase;
 pub mod victim;
+pub mod waits;
 pub mod window;
 
+pub use admission::AdmissionView;
 pub use hier_lock::HierLocking;
 pub use mla_detect::MlaDetect;
 pub use mla_prevent::MlaPrevent;
@@ -40,3 +43,9 @@ pub use sgt::SgtControl;
 pub use timestamp::TimestampOrdering;
 pub use two_phase::TwoPhaseLocking;
 pub use victim::VictimPolicy;
+pub use waits::ShardedWaits;
+
+// The decision a scheduler returns, re-exported for hosts (like
+// `mla-serve`) that drive the `*_view` admission surface without
+// depending on the simulator.
+pub use mla_sim::Decision;

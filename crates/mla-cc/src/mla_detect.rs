@@ -28,11 +28,12 @@
 use mla_core::cert::StaticCert;
 use mla_core::spec::BreakpointSpecification;
 use mla_core::{EngineBackend, EngineCounters, ParallelStats};
-use mla_model::TxnId;
-use mla_sim::{Control, Decision, TxnStatus, World};
+use mla_model::{Step, TxnId};
+use mla_sim::{Control, Decision, World};
 use mla_storage::StepRecord;
 use mla_txn::RuntimeSpec;
 
+use crate::admission::AdmissionView;
 use crate::victim::VictimPolicy;
 use crate::window::LiveWindow;
 
@@ -178,15 +179,12 @@ impl MlaDetect {
         self.cert = Some(cert);
         self
     }
-}
 
-impl Control for MlaDetect {
-    fn name(&self) -> &'static str {
-        "mla-detect"
-    }
-
-    fn decide(&mut self, txn: TxnId, world: &World) -> Decision {
-        let candidate = LiveWindow::candidate_step(world, txn);
+    /// The decision procedure, against any [`AdmissionView`] — the
+    /// simulator's `World` or `mla-serve`'s live admission state. The
+    /// [`Control`] impl is a thin delegation to this.
+    pub fn decide_view<V: AdmissionView + ?Sized>(&mut self, txn: TxnId, view: &V) -> Decision {
+        let candidate = view.candidate(txn);
         if let Some(cert) = &self.cert {
             if cert.covers(txn, candidate.entity) {
                 self.checks += 1;
@@ -198,14 +196,14 @@ impl Control for MlaDetect {
             // catch the engine up on everything granted so far.
             self.cert = None;
             let mut engine = EngineBackend::with_parallelism(
-                world.nest.clone(),
+                view.nest().clone(),
                 self.spec.clone(),
                 self.shards,
                 self.workers,
             );
-            for r in world.store.journal() {
+            for s in view.history_steps() {
                 engine
-                    .apply_step(r.as_step())
+                    .apply_step(s)
                     .expect("certified history must replay acyclically");
                 engine.commit_step();
             }
@@ -213,7 +211,7 @@ impl Control for MlaDetect {
         }
         if self.engine.is_none() {
             self.engine = Some(EngineBackend::with_parallelism(
-                world.nest.clone(),
+                view.nest().clone(),
                 self.spec.clone(),
                 self.shards,
                 self.workers,
@@ -227,7 +225,7 @@ impl Control for MlaDetect {
         match engine.apply_step(candidate) {
             Ok(()) => {
                 engine.commit_step();
-                self.window.maintain_with_backend(engine, world);
+                self.window.maintain_with_backend(engine, view);
                 Decision::Grant
             }
             Err(witness) => {
@@ -239,7 +237,7 @@ impl Control for MlaDetect {
                     .txns
                     .iter()
                     .copied()
-                    .filter(|&t| world.status[t.index()] != TxnStatus::Committed)
+                    .filter(|&t| !view.is_committed(t))
                     .collect();
                 if candidates.is_empty() {
                     // Every other participant is committed: the requester
@@ -247,28 +245,47 @@ impl Control for MlaDetect {
                     // cascade).
                     candidates.push(txn);
                 }
-                Decision::Abort(vec![self.policy.choose(txn, &candidates, world)])
+                Decision::Abort(vec![self.policy.choose(txn, &candidates, view)])
             }
         }
     }
 
-    fn performed(&mut self, record: &StepRecord, _world: &World) {
-        // Backfill the real observed/written values so future breakpoint
-        // descriptions see what actually happened (the candidate carried
-        // zeros — the closure itself is value-blind).
+    /// Backfills the real observed/written values of a performed step so
+    /// future breakpoint descriptions see what actually happened (the
+    /// candidate carried zeros — the closure itself is value-blind).
+    pub fn performed_view(&mut self, step: &Step) {
         if let Some(engine) = self.engine.as_mut() {
-            engine.performed(&record.as_step());
+            engine.performed(step);
         }
     }
 
-    fn aborted(&mut self, txn: TxnId, _world: &World) {
+    /// Records a rollback of `txn`'s steps. Shrinking the history
+    /// invalidates the maintained closure; the engine schedules one
+    /// rebuild for the whole cascade and replays lazily at the next
+    /// decision.
+    pub fn aborted_view(&mut self, txn: TxnId) {
         self.window.on_aborted(txn);
-        // Shrinking the history invalidates the maintained closure; the
-        // engine schedules one rebuild for the whole cascade and replays
-        // lazily at the next decision.
         if let Some(engine) = self.engine.as_mut() {
             engine.remove_txn(txn);
         }
+    }
+}
+
+impl Control for MlaDetect {
+    fn name(&self) -> &'static str {
+        "mla-detect"
+    }
+
+    fn decide(&mut self, txn: TxnId, world: &World) -> Decision {
+        self.decide_view(txn, world)
+    }
+
+    fn performed(&mut self, record: &StepRecord, _world: &World) {
+        self.performed_view(&record.as_step());
+    }
+
+    fn aborted(&mut self, txn: TxnId, _world: &World) {
+        self.aborted_view(txn);
     }
 
     fn decision_cost(&self) -> Option<EngineCounters> {

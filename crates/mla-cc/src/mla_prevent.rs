@@ -25,13 +25,14 @@
 use mla_core::cert::StaticCert;
 use mla_core::spec::BreakpointSpecification;
 use mla_core::{EngineBackend, EngineCounters, ParallelStats};
-use mla_graph::IncrementalTopo;
-use mla_model::TxnId;
-use mla_sim::{Control, Decision, TxnStatus, World};
+use mla_model::{Step, TxnId};
+use mla_sim::{Control, Decision, World};
 use mla_storage::StepRecord;
 use mla_txn::RuntimeSpec;
 
+use crate::admission::AdmissionView;
 use crate::victim::VictimPolicy;
+use crate::waits::ShardedWaits;
 use crate::window::LiveWindow;
 
 /// The pessimistic multilevel-atomicity control.
@@ -45,7 +46,12 @@ pub struct MlaPrevent {
     /// Worker threads for the closure backend (0 = serial).
     workers: usize,
     window: LiveWindow,
-    waits: IncrementalTopo,
+    /// Waits-for bookkeeping, optionally sharded by entity partition
+    /// ([`MlaPrevent::with_wait_shards`]); one partition = the legacy
+    /// global graph, edge for edge.
+    waits: ShardedWaits,
+    /// Node capacity for rebuilding `waits` when re-sharded.
+    txn_count: usize,
     policy: VictimPolicy,
     /// A §5 static safety certificate from `mla-lint`: while it holds,
     /// in-footprint steps are granted without closure maintenance or
@@ -71,10 +77,30 @@ impl MlaPrevent {
     }
 
     fn clear_out_edges(&mut self, txn: TxnId) {
-        let outs: Vec<u32> = self.waits.successors(txn.0).to_vec();
-        for o in outs {
-            self.waits.remove_edge(txn.0, o);
-        }
+        self.waits.clear_out_edges(txn.0);
+    }
+
+    /// Shards the waits-for bookkeeping across `partitions` entity
+    /// partitions (satellite to [`with_shards`](Self::with_shards)):
+    /// wait edges are attributed to the partition of the entity the
+    /// waiter stalled on, so fully partitioned workloads keep disjoint
+    /// wait graphs. Deadlock detection stays exact — groups coalesce
+    /// when a transaction waits across partitions. `partitions <= 1`
+    /// keeps the single global graph.
+    pub fn with_wait_shards(mut self, partitions: usize) -> Self {
+        assert_eq!(
+            self.waits.edge_count(),
+            0,
+            "set wait shards before the first deferral"
+        );
+        self.waits = ShardedWaits::new(self.txn_count, partitions);
+        self
+    }
+
+    /// How many wait-graph group coalescences have happened (0 on fully
+    /// partitionable workloads, and always 0 unsharded).
+    pub fn wait_merge_count(&self) -> u64 {
+        self.waits.merge_count()
     }
 
     /// Shards the closure engine across `shards` entity partitions
@@ -116,27 +142,34 @@ impl MlaPrevent {
             .unwrap_or_default()
     }
 
-    /// Records the waits-for edges of a deferral; returns a rollback
+    /// Records the waits-for edges of a deferral (attributed to the
+    /// entity partition the requester stalled on); returns a rollback
     /// decision instead if an edge would close a waits-for cycle.
-    fn defer_on(&mut self, txn: TxnId, blockers: &[TxnId], world: &World) -> Decision {
+    fn defer_on<V: AdmissionView + ?Sized>(
+        &mut self,
+        txn: TxnId,
+        blockers: &[TxnId],
+        wait_partition: usize,
+        view: &V,
+    ) -> Decision {
         self.breakpoint_waits += 1;
         // Refresh this requester's outgoing waits-for edges only:
         // detaching the whole node would erase *other* transactions'
         // waits on this one and hide wait cycles (livelock).
         self.clear_out_edges(txn);
         for b in blockers {
-            if let Err(cycle) = self.waits.add_edge(txn.0, b.0) {
+            if let Err(cycle) = self.waits.add_edge(txn.0, b.0, wait_partition) {
                 // A waits-for cycle: roll back a victim on it.
                 let candidates: Vec<TxnId> = cycle
                     .nodes()
                     .iter()
                     .map(|&v| TxnId(v))
-                    .filter(|&t| world.status[t.index()] != TxnStatus::Committed)
+                    .filter(|&t| !view.is_committed(t))
                     .collect();
                 let victim = if candidates.is_empty() {
                     txn
                 } else {
-                    self.policy.choose(txn, &candidates, world)
+                    self.policy.choose(txn, &candidates, view)
                 };
                 return Decision::Abort(vec![victim]);
             }
@@ -153,7 +186,8 @@ impl MlaPrevent {
             shards: 0,
             workers: 0,
             window: LiveWindow::new(),
-            waits: IncrementalTopo::new(txn_count),
+            waits: ShardedWaits::new(txn_count, 1),
+            txn_count,
             policy,
             cert: None,
             breakpoint_waits: 0,
@@ -187,15 +221,13 @@ impl MlaPrevent {
         self.cert = Some(cert);
         self
     }
-}
 
-impl Control for MlaPrevent {
-    fn name(&self) -> &'static str {
-        "mla-prevent"
-    }
-
-    fn decide(&mut self, txn: TxnId, world: &World) -> Decision {
-        let candidate = LiveWindow::candidate_step(world, txn);
+    /// The decision procedure, against any [`AdmissionView`] — the
+    /// simulator's `World` or `mla-serve`'s live admission state. The
+    /// [`Control`] impl is a thin delegation to this.
+    pub fn decide_view<V: AdmissionView + ?Sized>(&mut self, txn: TxnId, view: &V) -> Decision {
+        let candidate = view.candidate(txn);
+        let wait_partition = candidate.entity.index();
         if let Some(cert) = &self.cert {
             if cert.covers(txn, candidate.entity) {
                 self.certified_skips += 1;
@@ -205,14 +237,14 @@ impl Control for MlaPrevent {
             // certificate and catch the engine up on the journal.
             self.cert = None;
             let mut engine = EngineBackend::with_parallelism(
-                world.nest.clone(),
+                view.nest().clone(),
                 self.spec.clone(),
                 self.shards,
                 self.workers,
             );
-            for r in world.store.journal() {
+            for s in view.history_steps() {
                 engine
-                    .apply_step(r.as_step())
+                    .apply_step(s)
                     .expect("certified history must replay acyclically");
                 engine.commit_step();
             }
@@ -220,7 +252,7 @@ impl Control for MlaPrevent {
         }
         if self.engine.is_none() {
             self.engine = Some(EngineBackend::with_parallelism(
-                world.nest.clone(),
+                view.nest().clone(),
                 self.spec.clone(),
                 self.shards,
                 self.workers,
@@ -241,10 +273,10 @@ impl Control for MlaPrevent {
                     .into_iter()
                     .filter(|&t| {
                         t != txn
-                            && world.status[t.index()] != TxnStatus::Committed
-                            && !world.instance(t).is_finished()
-                            && world.instance(t).seq() > 0
-                            && !world.instance(t).at_breakpoint(world.level(t, txn))
+                            && !view.is_committed(t)
+                            && !view.is_finished(t)
+                            && view.performed_seq(t) > 0
+                            && !view.at_breakpoint(t, view.level(t, txn))
                     })
                     .collect();
                 if blockers.is_empty() {
@@ -252,12 +284,12 @@ impl Control for MlaPrevent {
                     // suitable breakpoint, so performing now keeps the
                     // closure consistent with the performance order.
                     engine.commit_step();
-                    self.window.maintain_with_backend(engine, world);
+                    self.window.maintain_with_backend(engine, view);
                     self.clear_out_edges(txn);
                     return Decision::Grant;
                 }
                 engine.rollback_step();
-                self.defer_on(txn, &blockers, world)
+                self.defer_on(txn, &blockers, wait_partition, view)
             }
             Err(witness) => {
                 // The candidate would close a closure cycle — something
@@ -272,46 +304,71 @@ impl Control for MlaPrevent {
                     .copied()
                     .filter(|&t| {
                         t != txn
-                            && world.status[t.index()] != TxnStatus::Committed
-                            && !world.instance(t).is_finished()
-                            && world.instance(t).seq() > 0
-                            && !world.instance(t).at_breakpoint(world.level(t, txn))
+                            && !view.is_committed(t)
+                            && !view.is_finished(t)
+                            && view.performed_seq(t) > 0
+                            && !view.at_breakpoint(t, view.level(t, txn))
                     })
                     .collect();
                 if !blockers.is_empty() {
-                    return self.defer_on(txn, &blockers, world);
+                    return self.defer_on(txn, &blockers, wait_partition, view);
                 }
                 self.prevention_misses += 1;
                 let mut candidates: Vec<TxnId> = witness
                     .txns
                     .iter()
                     .copied()
-                    .filter(|&t| world.status[t.index()] != TxnStatus::Committed)
+                    .filter(|&t| !view.is_committed(t))
                     .collect();
                 if candidates.is_empty() {
                     candidates.push(txn);
                 }
-                Decision::Abort(vec![self.policy.choose(txn, &candidates, world)])
+                Decision::Abort(vec![self.policy.choose(txn, &candidates, view)])
             }
         }
     }
 
-    fn performed(&mut self, record: &StepRecord, _world: &World) {
+    /// Backfills a performed step's real values into the engine.
+    pub fn performed_view(&mut self, step: &Step) {
         if let Some(engine) = self.engine.as_mut() {
-            engine.performed(&record.as_step());
+            engine.performed(step);
         }
     }
 
-    fn committed(&mut self, txn: TxnId, _world: &World) {
+    /// Records `txn`'s commit: its wait edges drop.
+    pub fn committed_view(&mut self, txn: TxnId) {
         self.waits.detach_node(txn.0);
     }
 
-    fn aborted(&mut self, txn: TxnId, _world: &World) {
+    /// Records a rollback of `txn`'s steps.
+    pub fn aborted_view(&mut self, txn: TxnId) {
         self.window.on_aborted(txn);
         self.waits.detach_node(txn.0);
         if let Some(engine) = self.engine.as_mut() {
             engine.remove_txn(txn);
         }
+    }
+}
+
+impl Control for MlaPrevent {
+    fn name(&self) -> &'static str {
+        "mla-prevent"
+    }
+
+    fn decide(&mut self, txn: TxnId, world: &World) -> Decision {
+        self.decide_view(txn, world)
+    }
+
+    fn performed(&mut self, record: &StepRecord, _world: &World) {
+        self.performed_view(&record.as_step());
+    }
+
+    fn committed(&mut self, txn: TxnId, _world: &World) {
+        self.committed_view(txn);
+    }
+
+    fn aborted(&mut self, txn: TxnId, _world: &World) {
+        self.aborted_view(txn);
     }
 
     fn decision_cost(&self) -> Option<EngineCounters> {

@@ -1,7 +1,8 @@
 //! Victim selection for rollback — the A3 ablation axis.
 
 use mla_model::TxnId;
-use mla_sim::World;
+
+use crate::admission::AdmissionView;
 
 /// How a cycle-resolving control picks the transaction to roll back.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,7 +30,12 @@ impl VictimPolicy {
 
     /// Chooses a victim among `candidates` (which must be non-empty; the
     /// requester is always a legal fallback).
-    pub fn choose(self, requester: TxnId, candidates: &[TxnId], world: &World) -> TxnId {
+    pub fn choose<V: AdmissionView + ?Sized>(
+        self,
+        requester: TxnId,
+        candidates: &[TxnId],
+        view: &V,
+    ) -> TxnId {
         debug_assert!(!candidates.is_empty());
         match self {
             VictimPolicy::Requester => {
@@ -38,18 +44,18 @@ impl VictimPolicy {
                 } else {
                     // The requester is not on the cycle (possible when the
                     // cycle predates its request); fall back to least work.
-                    VictimPolicy::FewestSteps.choose(requester, candidates, world)
+                    VictimPolicy::FewestSteps.choose(requester, candidates, view)
                 }
             }
             VictimPolicy::FewestSteps => candidates
                 .iter()
                 .copied()
-                .min_by_key(|&t| (world.instance(t).seq(), std::cmp::Reverse(t.0)))
+                .min_by_key(|&t| (view.performed_seq(t), std::cmp::Reverse(t.0)))
                 .expect("non-empty candidates"),
             VictimPolicy::MostSteps => candidates
                 .iter()
                 .copied()
-                .max_by_key(|&t| (world.instance(t).seq(), t.0))
+                .max_by_key(|&t| (view.performed_seq(t), t.0))
                 .expect("non-empty candidates"),
         }
     }

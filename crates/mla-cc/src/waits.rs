@@ -1,0 +1,275 @@
+//! Waits-for bookkeeping for [`MlaPrevent`](crate::MlaPrevent), sharded
+//! by entity partition.
+//!
+//! The preventer's wait edges are attributed to the partition of the
+//! *entity the waiter is stalled on* — on partitionable workloads,
+//! universes that never share an entity never share a wait graph, so the
+//! bookkeeping stops being one more global structure serialized behind
+//! the entity-sharded closure backend. Deadlock detection stays exact
+//! via the same trick the sharded closure engine uses: **group
+//! coalescing**. The invariant is that every transaction's wait edges
+//! live in exactly one group; before an edge `t -> b` is inserted into
+//! the group owning its partition, any group currently holding edges of
+//! `t` or `b` is merged in. Groups are therefore node-disjoint, a merge
+//! is a disjoint (acyclic) union, and an edge closes a waits-for cycle
+//! in some group iff it closes one in the global graph — cross-partition
+//! deadlocks included (a regression test pins the two-partition
+//! two-transaction case).
+//!
+//! With one partition the structure *is* the legacy global graph: a
+//! single pre-sized [`IncrementalTopo`] fed the same edges in the same
+//! order.
+
+use std::collections::{BTreeSet, HashMap};
+
+use mla_graph::{Cycle, IncrementalTopo};
+
+/// One coalescable wait-graph group.
+struct WaitGroup {
+    topo: IncrementalTopo,
+    /// The edges this group owns (rebuild source for merges).
+    edges: BTreeSet<(u32, u32)>,
+}
+
+/// Entity-partitioned waits-for graphs with exact global deadlock
+/// detection.
+pub struct ShardedWaits {
+    /// Partition -> current group index (groups only ever coalesce).
+    group_of_partition: Vec<usize>,
+    groups: Vec<WaitGroup>,
+    /// Node -> group currently holding its edges.
+    node_group: HashMap<u32, usize>,
+    merges: u64,
+}
+
+impl ShardedWaits {
+    /// A graph over `txn_count` transaction nodes, sharded across
+    /// `partitions` entity partitions (0 and 1 both mean one global
+    /// group).
+    pub fn new(txn_count: usize, partitions: usize) -> Self {
+        let partitions = partitions.max(1);
+        ShardedWaits {
+            group_of_partition: (0..partitions).collect(),
+            groups: (0..partitions)
+                .map(|_| WaitGroup {
+                    topo: IncrementalTopo::new(txn_count),
+                    edges: BTreeSet::new(),
+                })
+                .collect(),
+            node_group: HashMap::new(),
+            merges: 0,
+        }
+    }
+
+    /// Number of entity partitions.
+    pub fn partitions(&self) -> usize {
+        self.group_of_partition.len()
+    }
+
+    /// Group coalescences performed so far (0 on fully partitionable
+    /// workloads — the sharding claim, made observable).
+    pub fn merge_count(&self) -> u64 {
+        self.merges
+    }
+
+    /// Number of distinct live groups.
+    pub fn group_count(&self) -> usize {
+        let mut seen: Vec<usize> = self.group_of_partition.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Total wait edges across groups.
+    pub fn edge_count(&self) -> usize {
+        self.groups.iter().map(|g| g.edges.len()).sum()
+    }
+
+    /// Adds the wait edge `t -> b`, attributed to `partition` (the
+    /// partition of the entity `t` is stalled on). `Err` is a waits-for
+    /// cycle — a deadlock — with the nodes on it.
+    pub fn add_edge(&mut self, t: u32, b: u32, partition: usize) -> Result<bool, Cycle> {
+        let mut g = self.group_of_partition[partition % self.group_of_partition.len()];
+        for n in [t, b] {
+            if let Some(&h) = self.node_group.get(&n) {
+                if h != g {
+                    self.merge(h, g);
+                }
+            }
+        }
+        g = self.group_of_partition[partition % self.group_of_partition.len()];
+        let inserted = self.groups[g].topo.add_edge(t, b)?;
+        if inserted {
+            self.groups[g].edges.insert((t, b));
+        }
+        self.node_group.insert(t, g);
+        self.node_group.insert(b, g);
+        Ok(inserted)
+    }
+
+    /// Removes every outgoing wait edge of `t` (the waiter was granted or
+    /// re-deferred with a fresh blocker set).
+    pub fn clear_out_edges(&mut self, t: u32) {
+        let Some(&g) = self.node_group.get(&t) else {
+            return;
+        };
+        let outs: Vec<u32> = self.groups[g].topo.successors(t).to_vec();
+        for o in outs {
+            self.groups[g].topo.remove_edge(t, o);
+            self.groups[g].edges.remove(&(t, o));
+            self.release_if_isolated(o);
+        }
+        self.release_if_isolated(t);
+    }
+
+    /// Detaches `t` entirely (committed or aborted): all its in- and
+    /// out-edges drop.
+    pub fn detach_node(&mut self, t: u32) {
+        let Some(&g) = self.node_group.get(&t) else {
+            return;
+        };
+        self.groups[g].topo.detach_node(t);
+        let affected: Vec<(u32, u32)> = self.groups[g]
+            .edges
+            .iter()
+            .copied()
+            .filter(|&(u, v)| u == t || v == t)
+            .collect();
+        for e in &affected {
+            self.groups[g].edges.remove(e);
+        }
+        self.node_group.remove(&t);
+        for (u, v) in affected {
+            let other = if u == t { v } else { u };
+            self.release_if_isolated(other);
+        }
+    }
+
+    /// Current outgoing waits of `t`.
+    pub fn successors(&self, t: u32) -> Vec<u32> {
+        match self.node_group.get(&t) {
+            Some(&g) => self.groups[g].topo.successors(t).to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drops `n` from the node index once it has no edges left, so a
+    /// future wait can bind it to a different group without a merge.
+    fn release_if_isolated(&mut self, n: u32) {
+        if let Some(&g) = self.node_group.get(&n) {
+            if self.groups[g].topo.successors(n).is_empty()
+                && self.groups[g].topo.predecessors(n).is_empty()
+            {
+                self.node_group.remove(&n);
+            }
+        }
+    }
+
+    /// Coalesces group `src` into group `dest` (node-disjoint by the
+    /// invariant, so re-adding `src`'s edges cannot cycle).
+    fn merge(&mut self, src: usize, dest: usize) {
+        debug_assert_ne!(src, dest);
+        self.merges += 1;
+        let moved: Vec<(u32, u32)> = self.groups[src].edges.iter().copied().collect();
+        self.groups[src].edges.clear();
+        self.groups[src].topo.reset();
+        for &(u, v) in &moved {
+            let re = self.groups[dest].topo.add_edge(u, v);
+            debug_assert!(
+                matches!(re, Ok(true)),
+                "disjoint-group merge cannot create cycles or duplicates"
+            );
+            self.groups[dest].edges.insert((u, v));
+            self.node_group.insert(u, dest);
+            self.node_group.insert(v, dest);
+        }
+        for p in self.group_of_partition.iter_mut() {
+            if *p == src {
+                *p = dest;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_partition_behaves_like_global_graph() {
+        let mut w = ShardedWaits::new(8, 1);
+        assert!(w.add_edge(0, 1, 0).unwrap());
+        assert!(w.add_edge(1, 2, 0).unwrap());
+        assert!(!w.add_edge(0, 1, 0).unwrap());
+        let cycle = w.add_edge(2, 0, 0).unwrap_err();
+        assert!(!cycle.nodes().is_empty());
+        assert_eq!(w.successors(0), vec![1]);
+        w.clear_out_edges(0);
+        assert!(w.successors(0).is_empty());
+        assert_eq!(w.edge_count(), 1);
+    }
+
+    #[test]
+    fn cross_partition_deadlock_is_detected() {
+        // t0 waits on t1 in partition 0; t1 waits on t0 in partition 1.
+        // Per-partition graphs alone would each stay acyclic — the
+        // coalescing rule must catch the global 2-cycle.
+        let mut w = ShardedWaits::new(4, 2);
+        w.add_edge(0, 1, 0).unwrap();
+        let cycle = w.add_edge(1, 0, 1).unwrap_err();
+        let mut nodes = cycle.nodes().to_vec();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes, vec![0, 1]);
+        assert_eq!(w.merge_count(), 1, "the two groups had to coalesce");
+    }
+
+    #[test]
+    fn three_partition_chain_deadlock() {
+        let mut w = ShardedWaits::new(8, 4);
+        w.add_edge(0, 1, 0).unwrap();
+        w.add_edge(1, 2, 1).unwrap();
+        w.add_edge(2, 3, 2).unwrap();
+        assert!(w.add_edge(3, 0, 3).is_err());
+        assert!(w.merge_count() >= 3);
+    }
+
+    #[test]
+    fn partitioned_workload_never_merges() {
+        let mut w = ShardedWaits::new(64, 4);
+        // Four disjoint transaction populations, one per partition.
+        for p in 0..4u32 {
+            let base = p * 16;
+            for i in 0..8 {
+                w.add_edge(base + i, base + i + 1, p as usize).unwrap();
+            }
+        }
+        assert_eq!(w.merge_count(), 0);
+        assert_eq!(w.group_count(), 4);
+        assert_eq!(w.edge_count(), 32);
+    }
+
+    #[test]
+    fn detach_releases_nodes_for_other_partitions() {
+        let mut w = ShardedWaits::new(8, 2);
+        w.add_edge(0, 1, 0).unwrap();
+        w.detach_node(0);
+        assert!(w.successors(0).is_empty());
+        assert_eq!(w.edge_count(), 0);
+        // 1 is edge-free now: waiting in partition 1 must not merge.
+        w.add_edge(1, 2, 1).unwrap();
+        assert_eq!(w.merge_count(), 0);
+    }
+
+    #[test]
+    fn clear_out_edges_keeps_incoming_waits() {
+        let mut w = ShardedWaits::new(8, 2);
+        w.add_edge(0, 1, 0).unwrap();
+        w.add_edge(2, 0, 0).unwrap();
+        w.clear_out_edges(0);
+        assert!(w.successors(0).is_empty());
+        assert_eq!(w.successors(2), vec![0]);
+        // The waits-on-0 edge still closes cycles.
+        assert!(w.add_edge(0, 2, 1).is_err());
+    }
+}

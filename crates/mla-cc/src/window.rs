@@ -31,7 +31,8 @@ use mla_core::closure::CoherentClosure;
 use mla_core::spec::ExecContext;
 use mla_core::{BreakpointSpecification, ClosureEngine, EngineBackend};
 use mla_model::{Execution, Step, TxnId};
-use mla_sim::{TxnStatus, World};
+
+use crate::admission::AdmissionView;
 
 /// Tracks evicted committed transactions and builds window executions.
 #[derive(Clone, Debug)]
@@ -83,11 +84,11 @@ impl LiveWindow {
     /// so a live transaction's influence can route through a chain of
     /// committed transactions (this exact shape arose in the CAD
     /// workload and is covered by a regression test).
-    pub fn maintain_after(
+    pub fn maintain_after<V: AdmissionView + ?Sized>(
         &mut self,
         ctx: &ExecContext<'_>,
         closure: &CoherentClosure,
-        world: &World,
+        view: &V,
     ) {
         if !self.enabled {
             return;
@@ -108,7 +109,7 @@ impl LiveWindow {
         // Forward reachability from live transactions.
         let mut keep = vec![false; t_count];
         let mut stack: Vec<usize> = (0..t_count)
-            .filter(|&l| world.status[ctx.txn_id(l).index()] != TxnStatus::Committed)
+            .filter(|&l| !view.is_committed(ctx.txn_id(l)))
             .collect();
         for &l in &stack {
             keep[l] = true;
@@ -123,7 +124,7 @@ impl LiveWindow {
         }
         for (local, &kept) in keep.iter().enumerate() {
             let t = ctx.txn_id(local);
-            if !kept && world.status[t.index()] == TxnStatus::Committed {
+            if !kept && view.is_committed(t) {
                 self.evicted.insert(t);
             }
         }
@@ -141,15 +142,15 @@ impl LiveWindow {
     /// tentative step pending (i.e. after
     /// [`ClosureEngine::commit_step`] / `rollback_step`), since eviction
     /// mutates the maintained state.
-    pub fn maintain_with_engine<S: BreakpointSpecification>(
+    pub fn maintain_with_engine<S: BreakpointSpecification, V: AdmissionView + ?Sized>(
         &mut self,
         engine: &mut ClosureEngine<S>,
-        world: &World,
+        view: &V,
     ) {
         if !self.enabled {
             return;
         }
-        for t in engine.evict_unreachable(|t| world.status[t.index()] != TxnStatus::Committed) {
+        for t in engine.evict_unreachable(|t| !view.is_committed(t)) {
             self.evicted.insert(t);
         }
     }
@@ -158,15 +159,15 @@ impl LiveWindow {
     /// [`EngineBackend`]: the unsharded engine does the global scan, the
     /// sharded one projects only the shard groups whose state changed
     /// since the last maintenance pass — same evictions either way.
-    pub fn maintain_with_backend<S: BreakpointSpecification + Clone + Send + 'static>(
-        &mut self,
-        backend: &mut EngineBackend<S>,
-        world: &World,
-    ) {
+    pub fn maintain_with_backend<S, V>(&mut self, backend: &mut EngineBackend<S>, view: &V)
+    where
+        S: BreakpointSpecification + Clone + Send + 'static,
+        V: AdmissionView + ?Sized,
+    {
         if !self.enabled {
             return;
         }
-        for t in backend.evict_unreachable(|t| world.status[t.index()] != TxnStatus::Committed) {
+        for t in backend.evict_unreachable(|t| !view.is_committed(t)) {
             self.evicted.insert(t);
         }
     }
@@ -179,13 +180,15 @@ impl LiveWindow {
     /// The window execution: the live journal minus evicted transactions,
     /// optionally extended with a hypothetical next step (the candidate
     /// the control is deciding about).
-    pub fn execution_with(&self, world: &World, candidate: Option<Step>) -> Execution {
-        let mut steps: Vec<Step> = world
-            .store
-            .journal()
-            .iter()
-            .filter(|r| !self.evicted.contains(&r.txn))
-            .map(|r| r.as_step())
+    pub fn execution_with<V: AdmissionView + ?Sized>(
+        &self,
+        view: &V,
+        candidate: Option<Step>,
+    ) -> Execution {
+        let mut steps: Vec<Step> = view
+            .history_steps()
+            .into_iter()
+            .filter(|s| !self.evicted.contains(&s.txn))
             .collect();
         if let Some(c) = candidate {
             steps.push(c);
@@ -195,15 +198,8 @@ impl LiveWindow {
 
     /// Builds the candidate step for `txn`'s next access (values are
     /// irrelevant to the closure, which is order- and entity-based).
-    pub fn candidate_step(world: &World, txn: TxnId) -> Step {
-        let inst = world.instance(txn);
-        Step {
-            txn,
-            seq: inst.seq(),
-            entity: inst.next_entity().expect("candidate for a live step"),
-            observed: 0,
-            wrote: 0,
-        }
+    pub fn candidate_step<V: AdmissionView + ?Sized>(view: &V, txn: TxnId) -> Step {
+        view.candidate(txn)
     }
 }
 
@@ -215,7 +211,7 @@ mod tests {
     use mla_core::spec::ExecContext;
     use mla_model::program::{ScriptOp, ScriptProgram};
     use mla_model::EntityId;
-    use mla_sim::Metrics;
+    use mla_sim::{Metrics, TxnStatus, World};
     use mla_storage::Store;
     use mla_txn::{NoBreakpoints, RuntimeSpec, TxnInstance};
     use std::sync::Arc;

@@ -69,10 +69,10 @@
 //!
 //! [`needs_rebuild`]: ClosureEngine::rebuild_pending
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use mla_graph::topo::Cycle;
-use mla_graph::{IncrementalTopo, PairSummary};
+use mla_graph::{BitSet, DenseMap, IncrementalTopo, PairSummary};
 use mla_model::{EntityId, Execution, Step, TxnId};
 
 use crate::breakpoints::BreakpointDescription;
@@ -169,8 +169,10 @@ pub struct ClosureEngine<S> {
     spec: S,
     /// Column index -> TxnId, in order of first (surviving) appearance.
     txns: Vec<TxnId>,
-    /// Inverse of `txns` for transactions that may still grow.
-    local: HashMap<TxnId, usize>,
+    /// Inverse of `txns` for transactions that may still grow. Dense
+    /// (`TxnId`s are arena-style): one indexed load per decision-loop
+    /// lookup instead of a hash probe.
+    local: DenseMap,
     /// Step arena in performance order; dead (evicted/aborted) rows stay
     /// until the next rebuild compacts them.
     steps: Vec<Step>,
@@ -183,15 +185,17 @@ pub struct ClosureEngine<S> {
     /// The frontier matrix (see `closure.rs`).
     m: Vec<Vec<i64>>,
     /// `dependents[u]` = rows that unioned row `u` (re-processed when
-    /// `u`'s row grows). Entries may go stale after rollbacks; stale rows
-    /// are skipped at pop time.
-    dependents: Vec<Vec<u32>>,
+    /// `u`'s row grows). Bitset rows: registering a dependent is one bit
+    /// test instead of a linear scan of the row's dependents. Entries may
+    /// go stale after rollbacks; stale rows are skipped at pop time.
+    dependents: Vec<BitSet>,
     /// One node per arena row; edges mirror the maintained frontier plus
     /// intra chains. Rejecting an insertion = closure cycle.
     topo: IncrementalTopo,
     /// Entity -> arena rows that touched it, ascending (dead rows are
-    /// skipped when seeding base conflicts).
-    entity_rows: HashMap<EntityId, Vec<u32>>,
+    /// skipped when seeding base conflicts). Indexed by `EntityId` —
+    /// entity spaces are dense, so the per-append lookup is a load.
+    entity_rows: Vec<Vec<u32>>,
     dead: Vec<bool>,
     dead_count: usize,
     needs_rebuild: bool,
@@ -209,7 +213,7 @@ impl<S: BreakpointSpecification> ClosureEngine<S> {
             nest,
             spec,
             txns: Vec::new(),
-            local: HashMap::new(),
+            local: DenseMap::new(),
             steps: Vec::new(),
             step_txn: Vec::new(),
             step_seq: Vec::new(),
@@ -218,7 +222,7 @@ impl<S: BreakpointSpecification> ClosureEngine<S> {
             m: Vec::new(),
             dependents: Vec::new(),
             topo: IncrementalTopo::new(0),
-            entity_rows: HashMap::new(),
+            entity_rows: Vec::new(),
             dead: Vec::new(),
             dead_count: 0,
             needs_rebuild: false,
@@ -367,7 +371,7 @@ impl<S: BreakpointSpecification> ClosureEngine<S> {
             }
         }
         for &t in &evicted {
-            let lt = self.local[&t];
+            let lt = self.local.get(t.0).expect("evicted txn has a column") as usize;
             self.evict(lt);
         }
         evicted
@@ -402,10 +406,7 @@ impl<S: BreakpointSpecification> ClosureEngine<S> {
                     self.m.pop();
                     self.dependents.pop();
                     self.dead.pop();
-                    let rows = self
-                        .entity_rows
-                        .get_mut(&step.entity)
-                        .expect("entity index desync");
+                    let rows = &mut self.entity_rows[step.entity.index()];
                     debug_assert_eq!(rows.last().copied(), Some(self.steps.len() as u32));
                     rows.pop();
                     // All incident edges were journaled and already undone.
@@ -414,7 +415,7 @@ impl<S: BreakpointSpecification> ClosureEngine<S> {
                 }
                 Op::NewTxn => {
                     let t = self.txns.pop().expect("journal/txn desync");
-                    self.local.remove(&t);
+                    self.local.remove(t.0);
                     self.txn_steps.pop();
                     self.bds.pop();
                     for row in &mut self.m {
@@ -431,7 +432,7 @@ impl<S: BreakpointSpecification> ClosureEngine<S> {
     /// to what a batch checker reading the journal would see, so the next
     /// breakpoint-description refresh matches.
     pub fn performed(&mut self, step: &Step) {
-        let Some(&lt) = self.local.get(&step.txn) else {
+        let Some(lt) = self.local.get(step.txn.0).map(|v| v as usize) else {
             return;
         };
         let Some(&row) = self.txn_steps[lt].last() else {
@@ -460,7 +461,7 @@ impl<S: BreakpointSpecification> ClosureEngine<S> {
     /// [`apply_step`](Self::apply_step) — the rebuild-on-abort invariant.
     pub fn remove_txn(&mut self, t: TxnId) {
         assert!(!self.tentative, "resolve the pending step before removal");
-        let Some(lt) = self.local.remove(&t) else {
+        let Some(lt) = self.local.remove(t.0).map(|v| v as usize) else {
             return; // unknown or already compacted away — nothing to do
         };
         for &r in &self.txn_steps[lt] {
@@ -496,7 +497,7 @@ impl<S: BreakpointSpecification> ClosureEngine<S> {
             }
         }
         if let Some(t) = self.txns.get(lt) {
-            self.local.remove(t);
+            self.local.remove(t.0);
         }
         if self.dead_count > 64 && self.dead_count > self.steps.len() - self.dead_count {
             self.needs_rebuild = true;
@@ -558,7 +559,7 @@ impl<S: BreakpointSpecification> ClosureEngine<S> {
 
     /// The column of a transaction, if it has live state.
     pub fn local_of(&self, t: TxnId) -> Option<usize> {
-        self.local.get(&t).copied()
+        self.local.get(t.0).map(|v| v as usize)
     }
 
     /// Arena rows of a column, ascending.
@@ -668,12 +669,12 @@ impl<S: BreakpointSpecification> ClosureEngine<S> {
     }
 
     fn apply_inner(&mut self, step: Step) -> Result<(), Cycle> {
-        let lt = match self.local.get(&step.txn) {
-            Some(&lt) => lt,
+        let lt = match self.local.get(step.txn.0) {
+            Some(lt) => lt as usize,
             None => {
                 let lt = self.txns.len();
                 self.txns.push(step.txn);
-                self.local.insert(step.txn, lt);
+                self.local.insert(step.txn.0, lt as u32);
                 self.txn_steps.push(Vec::new());
                 self.bds
                     .push(BreakpointDescription::atomic(self.nest.k(), 0));
@@ -695,13 +696,14 @@ impl<S: BreakpointSpecification> ClosureEngine<S> {
         self.step_seq.push(s);
         self.txn_steps[lt].push(w);
         self.m.push(vec![NONE; self.txns.len()]);
-        self.dependents.push(Vec::new());
+        self.dependents.push(BitSet::default());
         self.dead.push(false);
         self.topo.ensure_nodes(w + 1);
-        self.entity_rows
-            .entry(step.entity)
-            .or_default()
-            .push(w as u32);
+        let e = step.entity.index();
+        if e >= self.entity_rows.len() {
+            self.entity_rows.resize_with(e + 1, Vec::new);
+        }
+        self.entity_rows[e].push(w as u32);
         self.journal.push(Op::NewRow);
 
         // Refresh the transaction's breakpoint description over its grown
@@ -746,7 +748,7 @@ impl<S: BreakpointSpecification> ClosureEngine<S> {
 
     /// Last live arena row touching `entity`, excluding `w` itself.
     fn last_live_on_entity(&self, entity: EntityId, w: usize) -> Option<usize> {
-        let rows = self.entity_rows.get(&entity)?;
+        let rows = self.entity_rows.get(entity.index())?;
         rows.iter()
             .rev()
             .map(|&r| r as usize)
@@ -818,8 +820,8 @@ impl<S: BreakpointSpecification> ClosureEngine<S> {
                     // who pulled it.
                     self.push_queue(v);
                     let deps = std::mem::take(&mut self.dependents[v]);
-                    for &d in &deps {
-                        self.push_queue(d as usize);
+                    for d in deps.iter() {
+                        self.push_queue(d);
                     }
                     self.dependents[v] = deps;
                 }
@@ -872,9 +874,10 @@ impl<S: BreakpointSpecification> ClosureEngine<S> {
 
     /// `m[v] |= m[u]` pointwise, registering `v` as a dependent of `u`.
     fn union_from(&mut self, v: usize, u: usize) -> Result<bool, Cycle> {
-        if !self.dependents[u].contains(&(v as u32)) {
-            self.dependents[u].push(v as u32);
+        if self.dependents[u].capacity() <= v {
+            self.dependents[u].grow(self.steps.len());
         }
+        self.dependents[u].insert(v);
         let mut changed = false;
         for t in 0..self.txns.len() {
             let uw = self.m[u][t];

@@ -116,6 +116,15 @@ impl BitSet {
             .all(|(a, b)| a & !b == 0)
     }
 
+    /// Grows the capacity to at least `new_len`, preserving contents.
+    /// Shrinking is a no-op (existing bits stay addressable).
+    pub fn grow(&mut self, new_len: usize) {
+        if new_len > self.len {
+            self.blocks.resize(new_len.div_ceil(BLOCK_BITS), 0);
+            self.len = new_len;
+        }
+    }
+
     /// Iterates over set elements in increasing order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
@@ -123,6 +132,13 @@ impl BitSet {
             block_idx: 0,
             current: self.blocks.first().copied().unwrap_or(0),
         }
+    }
+}
+
+impl Default for BitSet {
+    /// An empty set with zero capacity (grow before inserting).
+    fn default() -> Self {
+        BitSet::new(0)
     }
 }
 

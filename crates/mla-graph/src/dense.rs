@@ -1,0 +1,108 @@
+//! A dense `u32 -> u32` map with a sentinel, for hot paths that would
+//! otherwise hash.
+//!
+//! The closure engine's decision loop looks up "column of transaction"
+//! and "rows touching entity" once per worklist row. Both key spaces are
+//! dense by construction (`TxnId`/`EntityId` are arena-style indices), so
+//! a flat vector with a sentinel beats a `HashMap` on every axis that
+//! matters there: no hashing, no probing, and the lookup inlines to an
+//! indexed load.
+
+/// Sentinel meaning "absent".
+const ABSENT: u32 = u32::MAX;
+
+/// A map from dense `u32` keys to `u32` values (`u32::MAX` is reserved
+/// as the absent sentinel and cannot be stored).
+#[derive(Clone, Debug, Default)]
+pub struct DenseMap {
+    slots: Vec<u32>,
+}
+
+impl DenseMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        DenseMap { slots: Vec::new() }
+    }
+
+    /// The value for `key`, if present.
+    #[inline]
+    pub fn get(&self, key: u32) -> Option<u32> {
+        match self.slots.get(key as usize) {
+            Some(&v) if v != ABSENT => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains(&self, key: u32) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `key -> val`, returning the previous value if any.
+    ///
+    /// # Panics
+    /// Panics if `val` is the reserved sentinel `u32::MAX`.
+    pub fn insert(&mut self, key: u32, val: u32) -> Option<u32> {
+        assert_ne!(val, ABSENT, "u32::MAX is the absent sentinel");
+        let idx = key as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, ABSENT);
+        }
+        let old = std::mem::replace(&mut self.slots[idx], val);
+        (old != ABSENT).then_some(old)
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: u32) -> Option<u32> {
+        let idx = key as usize;
+        if idx >= self.slots.len() {
+            return None;
+        }
+        let old = std::mem::replace(&mut self.slots[idx], ABSENT);
+        (old != ABSENT).then_some(old)
+    }
+
+    /// Removes every entry (capacity is kept).
+    pub fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = ABSENT);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m = DenseMap::new();
+        assert_eq!(m.get(3), None);
+        assert_eq!(m.insert(3, 7), None);
+        assert_eq!(m.insert(3, 9), Some(7));
+        assert_eq!(m.get(3), Some(9));
+        assert!(m.contains(3));
+        assert_eq!(m.remove(3), Some(9));
+        assert_eq!(m.remove(3), None);
+        assert!(!m.contains(3));
+        assert_eq!(m.get(1000), None);
+        assert_eq!(m.remove(1000), None);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_drops_entries() {
+        let mut m = DenseMap::new();
+        m.insert(0, 1);
+        m.insert(5, 2);
+        m.clear();
+        assert_eq!(m.get(0), None);
+        assert_eq!(m.get(5), None);
+        m.insert(5, 3);
+        assert_eq!(m.get(5), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn sentinel_value_rejected() {
+        DenseMap::new().insert(0, u32::MAX);
+    }
+}

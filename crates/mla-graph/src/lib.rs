@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod dense;
 pub mod digraph;
 pub mod incremental;
 pub mod reach;
@@ -39,6 +40,7 @@ pub mod summary;
 pub mod topo;
 
 pub use bitset::BitSet;
+pub use dense::DenseMap;
 pub use digraph::DiGraph;
 pub use incremental::IncrementalTopo;
 pub use scc::{tarjan, Condensation};

@@ -151,16 +151,26 @@ impl ConflictGraph {
             total += p.slot_count();
         }
         let footprints: Vec<Vec<EntityId>> = profiles.iter().map(TxnProfile::footprint).collect();
+        // Entity → transactions touching it: only pairs that actually
+        // share an entity are visited (all-pairs over the transaction
+        // count is quadratic and dominated by disjoint-footprint pairs
+        // on partitioned workloads).
+        let mut by_entity: std::collections::BTreeMap<EntityId, Vec<usize>> = Default::default();
+        for (t, fp) in footprints.iter().enumerate() {
+            for &e in fp {
+                by_entity.entry(e).or_default().push(t);
+            }
+        }
         let mut adj: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); total];
         let mut backward_set = std::collections::BTreeSet::new();
         let mut backward = Vec::new();
-        for t in 0..n {
-            for u in 0..n {
-                if t == u {
-                    continue;
-                }
-                let level = nest.level(TxnId(t as u32), TxnId(u as u32));
-                for &e in intersect(&footprints[t], &footprints[u]).iter() {
+        for (&e, touching) in &by_entity {
+            for &t in touching {
+                for &u in touching {
+                    if t == u {
+                        continue;
+                    }
+                    let level = nest.level(TxnId(t as u32), TxnId(u as u32));
                     for &a_out in &profiles[t].slots_on(e) {
                         for &b_in in &profiles[u].slots_on(e) {
                             let to = offsets[u] + b_in;
@@ -263,24 +273,6 @@ impl ConflictGraph {
         }
         comp
     }
-}
-
-/// Intersection of two sorted, deduplicated entity sets.
-fn intersect(a: &[EntityId], b: &[EntityId]) -> Vec<EntityId> {
-    let mut out = Vec::new();
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,24 @@
+//! `mla-serve`: a concurrent transaction service with the §6 multilevel
+//! atomicity schedulers gating admission.
+//!
+//! Where `mla-sim` *simulates* concurrency (one thread, a virtual clock,
+//! migrating transactions), this crate *is* concurrent: OS worker
+//! threads drive simulated client sessions against timestamped MVCC
+//! storage ([`mla_storage::MvccStore`]), every step admitted by
+//! [`MlaDetect`](mla_cc::MlaDetect) or
+//! [`MlaPrevent`](mla_cc::MlaPrevent) through the same
+//! [`AdmissionView`](mla_cc::AdmissionView) surface the simulator uses —
+//! one scheduler core, two hosts. Committed versions are reclaimed by
+//! epoch-based GC, and every drained history feeds back through Theorem
+//! 2's offline decision procedure ([`audit`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod service;
+pub mod workload;
+
+pub use audit::{audit_full, audit_windowed, AuditReport};
+pub use service::{run, SchedKind, ServeConfig, ServeReport};
+pub use workload::{contended_load, partitioned_load, ServeLoad};

@@ -1,0 +1,134 @@
+//! The `mla-serve` binary: boot the service on a generated workload,
+//! drain it, audit the history, and report.
+
+use std::time::Duration;
+
+use mla_serve::{audit_full, audit_windowed, contended_load, partitioned_load};
+use mla_serve::{run, SchedKind, ServeConfig};
+
+const USAGE: &str = "mla-serve: concurrent transaction service demo
+
+USAGE: mla-serve [OPTIONS]
+
+  --load partitioned|contended   workload shape        [contended]
+  --sessions N                   client sessions       [64]
+  --txns N                       txns per session      [32]
+  --accounts N                   shared accounts (contended) [16]
+  --audit-every N                audit txn cadence, 0=off (contended) [8]
+  --sched detect|prevent         admission scheduler   [prevent]
+  --workers N                    worker threads        [4]
+  --shards N                     closure-engine shards [1]
+  --wait-shards N                wait-graph partitions [1]
+  --certified                    attach the static certificate if earned
+  --no-gc                        disable the epoch GC thread
+  --deadline-secs N              liveness backstop     [60]
+  --audit-window N               oracle window, 0=full history [0]
+  --quiet                        suppress the report block
+";
+
+fn parse_or_die<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("bad or missing value for {flag}\n\n{USAGE}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut load_kind = "contended".to_string();
+    let mut sessions = 64usize;
+    let mut txns = 32usize;
+    let mut accounts = 16usize;
+    let mut audit_every = 8usize;
+    let mut config = ServeConfig::default();
+    let mut audit_window = 0usize;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--load" => load_kind = parse_or_die(&a, args.next()),
+            "--sessions" => sessions = parse_or_die(&a, args.next()),
+            "--txns" => txns = parse_or_die(&a, args.next()),
+            "--accounts" => accounts = parse_or_die(&a, args.next()),
+            "--audit-every" => audit_every = parse_or_die(&a, args.next()),
+            "--sched" => {
+                config.sched = match args.next().as_deref() {
+                    Some("detect") => SchedKind::Detect,
+                    Some("prevent") => SchedKind::Prevent,
+                    other => {
+                        eprintln!("unknown scheduler {other:?}\n\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--workers" => config.workers = parse_or_die(&a, args.next()),
+            "--shards" => config.shards = parse_or_die(&a, args.next()),
+            "--wait-shards" => config.wait_shards = parse_or_die(&a, args.next()),
+            "--certified" => config.certified = true,
+            "--no-gc" => config.gc_interval = None,
+            "--deadline-secs" => {
+                config.deadline = Duration::from_secs(parse_or_die(&a, args.next()))
+            }
+            "--audit-window" => audit_window = parse_or_die(&a, args.next()),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let gen_started = std::time::Instant::now();
+    let load = match load_kind.as_str() {
+        "partitioned" => partitioned_load(sessions, txns),
+        "contended" => contended_load(sessions, txns, accounts, audit_every),
+        other => {
+            eprintln!("unknown load {other}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let gen_wall = gen_started.elapsed();
+
+    let report = run(&load, &config);
+    if !quiet {
+        println!("{}", report.render());
+    }
+
+    let nest = &load.workload.nest;
+    let spec = load.workload.spec();
+    let audit_started = std::time::Instant::now();
+    let audit = if audit_window == 0 {
+        audit_full(&report.history, nest, &spec)
+    } else {
+        audit_windowed(&report.history, nest, &spec, audit_window)
+    };
+    println!(
+        "oracle      {} windows audited, {} violations ({} steps)",
+        audit.windows, audit.violations, audit.steps_covered
+    );
+    if !quiet {
+        println!(
+            "phases      generate {gen_wall:.3?}, certify {:.3?}, drain {:.3?}, audit {:.3?}",
+            report.cert_wall,
+            report.wall,
+            audit_started.elapsed()
+        );
+    }
+
+    if !report.clean {
+        eprintln!("DEADLINE HIT: drain incomplete");
+        std::process::exit(1);
+    }
+    if report.snapshot_violations > 0 {
+        eprintln!("SNAPSHOT VIOLATIONS: {}", report.snapshot_violations);
+        std::process::exit(1);
+    }
+    if !audit.passed() {
+        eprintln!("ORACLE VIOLATIONS: history is not correctable");
+        std::process::exit(1);
+    }
+}

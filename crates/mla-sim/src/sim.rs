@@ -133,7 +133,7 @@ pub fn run(
                 // check, not service — charging it service time lets
                 // waiting polls starve the actual work at scale.
                 busy_until[proc] = time + config.step_service;
-                let observed = world.store.value(entity);
+                let observed = world.current_value(entity);
                 let step = world.instances[ti].perform(observed);
                 let record = world.store.perform(txn, step.seq, entity, |_| step.wrote);
                 debug_assert_eq!(record.observed, observed);

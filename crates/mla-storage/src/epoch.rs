@@ -1,0 +1,152 @@
+//! Epoch pins: the reader-side half of version garbage collection.
+//!
+//! A snapshot reader pins the ticket it is reading at; the GC frontier is
+//! then `min(scheduler live-window frontier, min pinned ticket)` — no
+//! version at or above it is folded, so every in-flight snapshot stays
+//! stable for as long as its pin lives. Pins are plain atomic slots
+//! (store on pin, reset on drop), so readers never contend on a lock and
+//! the whole registry is a linear scan to fold — deliberately boring, in
+//! the crossbeam-epoch shape but with tickets instead of collector
+//! epochs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Slot value meaning "unpinned".
+const EMPTY: u64 = u64::MAX;
+
+/// A fixed-capacity registry of reader pins.
+pub struct EpochRegistry {
+    slots: Vec<AtomicU64>,
+}
+
+impl EpochRegistry {
+    /// A registry with room for `capacity` simultaneous pins.
+    pub fn new(capacity: usize) -> Self {
+        EpochRegistry {
+            slots: (0..capacity.max(1))
+                .map(|_| AtomicU64::new(EMPTY))
+                .collect(),
+        }
+    }
+
+    /// Pins `ticket`, holding the GC frontier at or below it until the
+    /// returned guard drops.
+    ///
+    /// # Panics
+    /// Panics if every slot is busy — size the registry to the maximum
+    /// number of concurrent readers (the service uses session count).
+    pub fn pin(&self, ticket: u64) -> EpochPin<'_> {
+        assert_ne!(ticket, EMPTY, "u64::MAX is the unpinned sentinel");
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot
+                .compare_exchange(EMPTY, ticket, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return EpochPin {
+                    registry: self,
+                    slot: i,
+                };
+            }
+        }
+        panic!(
+            "epoch registry exhausted ({} slots): more concurrent readers than planned",
+            self.slots.len()
+        );
+    }
+
+    /// The smallest pinned ticket, or `None` when nothing is pinned.
+    pub fn min_active(&self) -> Option<u64> {
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .filter(|&t| t != EMPTY)
+            .min()
+    }
+
+    /// The GC frontier given the scheduler's own lower bound: the
+    /// smallest of `window_frontier` and every live pin.
+    pub fn frontier(&self, window_frontier: u64) -> u64 {
+        self.min_active()
+            .map_or(window_frontier, |p| p.min(window_frontier))
+    }
+}
+
+/// An active pin; unpins on drop.
+pub struct EpochPin<'a> {
+    registry: &'a EpochRegistry,
+    slot: usize,
+}
+
+impl EpochPin<'_> {
+    /// The pinned ticket.
+    pub fn ticket(&self) -> u64 {
+        self.registry.slots[self.slot].load(Ordering::Acquire)
+    }
+}
+
+impl Drop for EpochPin<'_> {
+    fn drop(&mut self) {
+        self.registry.slots[self.slot].store(EMPTY, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pins_bound_the_frontier() {
+        let reg = EpochRegistry::new(4);
+        assert_eq!(reg.min_active(), None);
+        assert_eq!(reg.frontier(100), 100);
+        let p1 = reg.pin(42);
+        let p2 = reg.pin(17);
+        assert_eq!(reg.min_active(), Some(17));
+        assert_eq!(reg.frontier(100), 17);
+        assert_eq!(reg.frontier(5), 5);
+        drop(p2);
+        assert_eq!(reg.frontier(100), 42);
+        assert_eq!(p1.ticket(), 42);
+        drop(p1);
+        assert_eq!(reg.min_active(), None);
+    }
+
+    #[test]
+    fn slots_recycle() {
+        let reg = EpochRegistry::new(1);
+        for t in 1..100u64 {
+            let p = reg.pin(t);
+            assert_eq!(reg.min_active(), Some(t));
+            drop(p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let reg = EpochRegistry::new(1);
+        let _p = reg.pin(1);
+        let _q = reg.pin(2);
+    }
+
+    #[test]
+    fn concurrent_pins_are_clean() {
+        let reg = std::sync::Arc::new(EpochRegistry::new(64));
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let reg = std::sync::Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for t in 0..200u64 {
+                        let p = reg.pin(t * 8 + i + 1);
+                        assert!(p.ticket() >= 1);
+                        drop(p);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.min_active(), None);
+    }
+}

@@ -19,9 +19,39 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod epoch;
+pub mod latch;
+pub mod mvcc;
+
+pub use epoch::{EpochPin, EpochRegistry};
+pub use latch::{LatchGuard, LatchMode, LatchTree};
+pub use mvcc::{MvccStore, Version};
+
 use std::collections::HashMap;
 
 use mla_model::{EntityId, Execution, Step, TxnId, Value};
+
+/// The store abstraction the admission layer is written against: current
+/// entity values plus the live history as model steps. The simulator's
+/// journal [`Store`] and the service's MVCC history recorder both
+/// implement it, so `mla-cc`'s schedulers (and their certificate-voiding
+/// replay path) run unchanged over either substrate.
+pub trait StepSource {
+    /// The live (not rolled back) steps, in performance order.
+    fn live_steps(&self) -> Vec<Step>;
+    /// The current value of an entity (0 if never written).
+    fn current_value(&self, e: EntityId) -> Value;
+}
+
+impl StepSource for Store {
+    fn live_steps(&self) -> Vec<Step> {
+        self.journal.iter().map(StepRecord::as_step).collect()
+    }
+
+    fn current_value(&self, e: EntityId) -> Value {
+        self.value(e)
+    }
+}
 
 /// A journaled step: what [`Store::perform`] did, with enough information
 /// to undo it and to reconstruct the execution.

@@ -36,7 +36,7 @@ use std::sync::Arc;
 use mla_core::nest::Nest;
 use mla_model::program::System;
 use mla_model::{EntityId, LocalState, Program, TxnId, Value};
-use mla_txn::{RuntimeBreakpoints, RuntimeSpec, TxnInstance};
+use mla_txn::{RuntimeBreakpoints, RuntimeSpec, TxnInstance, TxnProfile};
 
 /// A complete generated workload.
 pub struct Workload {
@@ -67,6 +67,35 @@ impl Workload {
             .zip(&self.breakpoints)
             .enumerate()
             .map(|(i, (p, b))| TxnInstance::new(TxnId(i as u32), p.clone(), b.clone()))
+            .collect()
+    }
+
+    /// Declared transaction profiles — what a service front-end consumes
+    /// (each mints fresh instances per attempt). Footprints come from the
+    /// programs' static step lists where available, falling back to a
+    /// per-run probe of the branching programs' entity universe via
+    /// [`Program::may_footprint`]; programs describing neither get an
+    /// empty declared footprint, which simply declares nothing (no latch
+    /// span, never certificate-covered).
+    pub fn profiles(&self) -> Vec<TxnProfile> {
+        self.programs
+            .iter()
+            .zip(&self.breakpoints)
+            .enumerate()
+            .map(|(i, (p, b))| {
+                let t = TxnId(i as u32);
+                let footprint = p
+                    .step_entities()
+                    .or_else(|| p.may_footprint())
+                    .unwrap_or_default();
+                TxnProfile::new(
+                    t,
+                    p.clone(),
+                    b.clone(),
+                    footprint,
+                    self.nest.path(t).to_vec(),
+                )
+            })
             .collect()
     }
 

@@ -27,6 +27,8 @@
 //! * [`workload`] — banking, CAD, and synthetic workload generators.
 //! * [`lint`] — static breakpoint-spec analysis: well-formedness, spec
 //!   smells, and §5 safety certification with stable `MLA0xx` codes.
+//! * [`serve`] — the live concurrent transaction service: worker threads
+//!   on MVCC storage, the MLA schedulers gating step admission.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +56,7 @@ pub use mla_core as core;
 pub use mla_graph as graph;
 pub use mla_lint as lint;
 pub use mla_model as model;
+pub use mla_serve as serve;
 pub use mla_sim as sim;
 pub use mla_storage as storage;
 pub use mla_txn as txn;
