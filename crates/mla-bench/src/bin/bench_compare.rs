@@ -1,0 +1,85 @@
+//! Perf-trajectory gate: diff two committed bench artifacts and exit
+//! nonzero if any matched metric row regressed past the threshold.
+//!
+//! ```text
+//! bench_compare OLD.json NEW.json [--threshold 0.10]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 regression found, 2 usage or parse failure.
+
+use mla_bench::compare::{compare, parse_doc};
+
+const USAGE: &str = "bench_compare: flag perf regressions between bench artifacts
+
+USAGE: bench_compare OLD.json NEW.json [--threshold F]
+
+  OLD.json        baseline artifact (previous PR's BENCH_PR*.json)
+  NEW.json        current artifact
+  --threshold F   fractional regression tolerance   [0.10]
+";
+
+fn load(path: &str) -> mla_bench::compare::BenchDoc {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_doc(&src).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut positional: Vec<String> = Vec::new();
+    let mut threshold = 0.10f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threshold" => {
+                threshold = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("bad or missing value for --threshold\n\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [old_path, new_path] = positional.as_slice() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+
+    let old = load(old_path);
+    let new = load(new_path);
+    let report = compare(&old, &new, threshold);
+
+    for note in &report.unmatched {
+        println!("note: {note}");
+    }
+    println!(
+        "compared {} metric cells at threshold {:.0}%",
+        report.compared,
+        threshold * 100.0
+    );
+    if report.passed() {
+        println!("PASS: no regression");
+    } else {
+        for r in &report.regressions {
+            println!("REGRESSION: {r}");
+        }
+        eprintln!(
+            "{} regression(s) past {:.0}%",
+            report.regressions.len(),
+            threshold * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixed-seed PR7 bench runner: the same replay + serve sweep as
+//! `bench_pr6`, stamped with the PR7 label so `bench_compare` can diff
+//! the two committed artifacts. Writes `BENCH_PR7.json` by default
+//! (override with `--json <path>`); pass `--quick` for the reduced
+//! sweep.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    let tables = mla_bench::perf::run_labeled(quick, "PR7");
+    for table in &tables {
+        println!("{}", table.render());
+    }
+    let body: Vec<String> = tables.iter().map(|t| t.to_json()).collect();
+    std::fs::write(&json_path, format!("[{}]", body.join(","))).expect("write json results");
+    eprintln!("wrote {json_path}");
+}

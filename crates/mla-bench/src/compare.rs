@@ -1,0 +1,492 @@
+//! Perf-trajectory comparison: diff two committed bench JSON artifacts
+//! (`BENCH_PR*.json`, the array-of-tables shape [`Table::to_json`]
+//! emits) and flag regressions, making the perf trajectory enforceable
+//! in CI rather than archival.
+//!
+//! Tables are matched by *header signature*, not title (titles carry
+//! the PR stamp); rows are keyed by their non-metric columns. Metric
+//! columns carry a direction: wall-clock and latency regress upward,
+//! throughput regresses downward. Deterministic counter columns
+//! (commits, aborts, defers) are part of the row identity only —
+//! seeded replays pin them exactly elsewhere; here a changed counter
+//! shows up as an added/removed row, which is reported but does not
+//! fail the gate.
+//!
+//! [`Table::to_json`]: crate::table::Table::to_json
+
+use std::collections::HashMap;
+
+/// One parsed bench table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchTable {
+    /// Table title (informational only).
+    pub title: String,
+    /// Column names; the matching signature.
+    pub header: Vec<String>,
+    /// Stringified cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// A parsed artifact: the JSON array `bench_pr*` writes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchDoc {
+    /// Tables, in file order.
+    pub tables: Vec<BenchTable>,
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader for the artifact subset: arrays, objects, strings
+// (with the escapes `esc()` produces). No registry JSON crate in the
+// build environment, same as the writer side.
+
+struct Json<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl<'a> Json<'a> {
+    fn new(src: &'a str) -> Self {
+        Json {
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: &str) -> String {
+        format!("json byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(self.error("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    fields.push((key, self.value()?));
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(self.error("expected `,` or `}`")),
+                    }
+                }
+            }
+            _ => Err(self.error("expected string, array, or object")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Multi-byte UTF-8 passes through byte-wise; the
+                    // input is a &str so sequences are valid.
+                    let start = self.pos;
+                    let len = if b < 0x80 {
+                        1
+                    } else if b < 0xE0 {
+                        2
+                    } else if b < 0xF0 {
+                        3
+                    } else {
+                        4
+                    };
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..start + len])
+                            .map_err(|_| self.error("invalid utf-8"))?,
+                    );
+                    self.pos += len;
+                }
+            }
+        }
+    }
+}
+
+fn field<'v>(obj: &'v [(String, Value)], name: &str) -> Result<&'v Value, String> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field `{name}`"))
+}
+
+fn strings(v: &Value, what: &str) -> Result<Vec<String>, String> {
+    match v {
+        Value::Arr(items) => items
+            .iter()
+            .map(|i| match i {
+                Value::Str(s) => Ok(s.clone()),
+                _ => Err(format!("{what}: expected string")),
+            })
+            .collect(),
+        _ => Err(format!("{what}: expected array")),
+    }
+}
+
+/// Parses a `BENCH_PR*.json` artifact.
+pub fn parse_doc(src: &str) -> Result<BenchDoc, String> {
+    let mut json = Json::new(src);
+    let Value::Arr(items) = json.value()? else {
+        return Err("artifact must be a JSON array of tables".to_string());
+    };
+    let mut tables = Vec::with_capacity(items.len());
+    for item in &items {
+        let Value::Obj(obj) = item else {
+            return Err("each table must be a JSON object".to_string());
+        };
+        let Value::Str(title) = field(obj, "title")? else {
+            return Err("title must be a string".to_string());
+        };
+        let header = strings(field(obj, "header")?, "header")?;
+        let rows = match field(obj, "rows")? {
+            Value::Arr(rows) => rows
+                .iter()
+                .map(|r| strings(r, "row"))
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("rows must be an array".to_string()),
+        };
+        for r in &rows {
+            if r.len() != header.len() {
+                return Err(format!(
+                    "row arity {} != header arity {}",
+                    r.len(),
+                    header.len()
+                ));
+            }
+        }
+        tables.push(BenchTable {
+            title: title.clone(),
+            header,
+            rows,
+        });
+    }
+    Ok(BenchDoc { tables })
+}
+
+// ---------------------------------------------------------------------
+// Comparison.
+
+/// Which way a metric column regresses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is worse (wall-clock, latency).
+    LowerIsBetter,
+    /// Smaller is worse (throughput).
+    HigherIsBetter,
+}
+
+/// The known metric columns. Anything else is row identity.
+pub fn metric_direction(column: &str) -> Option<Direction> {
+    match column {
+        "wall-ms" | "drain-ms" | "p50-us" | "p95-us" | "p99-us" => Some(Direction::LowerIsBetter),
+        "thru/kt" | "txn/s" => Some(Direction::HigherIsBetter),
+        _ => None,
+    }
+}
+
+/// One metric regression past the threshold.
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// Header signature of the table (joined by `|`).
+    pub table: String,
+    /// Row key (non-metric columns joined by `|`).
+    pub row: String,
+    /// Metric column name.
+    pub column: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Current value.
+    pub new: f64,
+    /// `new / old`.
+    pub ratio: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {} -> {} ({:+.1}%)",
+            self.table,
+            self.row,
+            self.column,
+            self.old,
+            self.new,
+            (self.ratio - 1.0) * 100.0
+        )
+    }
+}
+
+/// The full diff outcome.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// Metric cells compared.
+    pub compared: usize,
+    /// Regressions past the threshold.
+    pub regressions: Vec<Regression>,
+    /// Row keys present on only one side, or tables with no
+    /// counterpart — reported, not failed (a PR may add rows).
+    pub unmatched: Vec<String>,
+}
+
+impl CompareReport {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn row_key(header: &[String], row: &[String]) -> String {
+    header
+        .iter()
+        .zip(row)
+        .filter(|(h, _)| metric_direction(h).is_none())
+        .map(|(_, c)| c.as_str())
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// Values below this are noise floors, not baselines: a 0.00 ms cell
+/// cannot meaningfully regress by ratio.
+const MIN_BASE: f64 = 0.05;
+
+/// Diffs `new` against the `old` baseline: any matched metric cell
+/// worse by more than `threshold` (fractional, e.g. `0.10`) is a
+/// regression.
+pub fn compare(old: &BenchDoc, new: &BenchDoc, threshold: f64) -> CompareReport {
+    let mut report = CompareReport::default();
+    let mut old_by_sig: HashMap<String, &BenchTable> = HashMap::new();
+    for t in &old.tables {
+        old_by_sig.insert(t.header.join("|"), t);
+    }
+    let mut new_sigs: Vec<String> = Vec::new();
+    for t in &new.tables {
+        new_sigs.push(t.header.join("|"));
+    }
+    for (sig, t) in old.tables.iter().map(|t| (t.header.join("|"), t)) {
+        if !new_sigs.contains(&sig) {
+            report
+                .unmatched
+                .push(format!("table gone: {} ({})", t.title, sig));
+        }
+    }
+    for new_table in &new.tables {
+        let sig = new_table.header.join("|");
+        let Some(old_table) = old_by_sig.get(&sig) else {
+            report
+                .unmatched
+                .push(format!("table new: {} ({})", new_table.title, sig));
+            continue;
+        };
+        let mut old_rows: HashMap<String, &Vec<String>> = HashMap::new();
+        for r in &old_table.rows {
+            old_rows.insert(row_key(&old_table.header, r), r);
+        }
+        let mut seen: Vec<String> = Vec::new();
+        for r in &new_table.rows {
+            let key = row_key(&new_table.header, r);
+            seen.push(key.clone());
+            let Some(old_row) = old_rows.get(&key) else {
+                report.unmatched.push(format!("row new: [{key}] in {sig}"));
+                continue;
+            };
+            for (c, h) in new_table.header.iter().enumerate() {
+                let Some(direction) = metric_direction(h) else {
+                    continue;
+                };
+                let (Ok(old_v), Ok(new_v)) = (old_row[c].parse::<f64>(), r[c].parse::<f64>())
+                else {
+                    continue;
+                };
+                if old_v < MIN_BASE {
+                    continue;
+                }
+                report.compared += 1;
+                let ratio = new_v / old_v;
+                let regressed = match direction {
+                    Direction::LowerIsBetter => ratio > 1.0 + threshold,
+                    Direction::HigherIsBetter => ratio < 1.0 - threshold,
+                };
+                if regressed {
+                    report.regressions.push(Regression {
+                        table: sig.clone(),
+                        row: key.clone(),
+                        column: h.clone(),
+                        old: old_v,
+                        new: new_v,
+                        ratio,
+                    });
+                }
+            }
+        }
+        for key in old_rows.keys() {
+            if !seen.contains(key) {
+                report.unmatched.push(format!("row gone: [{key}] in {sig}"));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+
+    fn doc(wall: &str, thru: &str) -> BenchDoc {
+        let mut t = Table::new("BENCH PRx: demo", &["workload", "wall-ms", "thru/kt"]);
+        t.row(vec!["banking".into(), wall.into(), thru.into()]);
+        parse_doc(&format!("[{}]", t.to_json())).unwrap()
+    }
+
+    #[test]
+    fn parses_the_writer_shape() {
+        let mut t = Table::new("ti\"tle\nx", &["a", "wall-ms"]);
+        t.row(vec!["r\\1".into(), "3.14".into()]);
+        let doc = parse_doc(&format!("[{}]", t.to_json())).unwrap();
+        assert_eq!(doc.tables.len(), 1);
+        assert_eq!(doc.tables[0].title, "ti\"tle\nx");
+        assert_eq!(doc.tables[0].rows[0], vec!["r\\1", "3.14"]);
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let report = compare(&doc("10.0", "50.0"), &doc("10.9", "46.0"), 0.10);
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert_eq!(report.compared, 2);
+    }
+
+    #[test]
+    fn slow_wall_fails() {
+        let report = compare(&doc("10.0", "50.0"), &doc("11.5", "50.0"), 0.10);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].column, "wall-ms");
+    }
+
+    #[test]
+    fn throughput_drop_fails_but_gain_passes() {
+        let drop = compare(&doc("10.0", "50.0"), &doc("10.0", "44.0"), 0.10);
+        assert_eq!(drop.regressions.len(), 1);
+        assert_eq!(drop.regressions[0].column, "thru/kt");
+        let gain = compare(&doc("10.0", "50.0"), &doc("10.0", "80.0"), 0.10);
+        assert!(gain.passed());
+    }
+
+    #[test]
+    fn unmatched_rows_warn_not_fail() {
+        let old = doc("10.0", "50.0");
+        let mut t = Table::new("BENCH PRy: demo", &["workload", "wall-ms", "thru/kt"]);
+        t.row(vec!["cad".into(), "99.0".into(), "1.0".into()]);
+        let new = parse_doc(&format!("[{}]", t.to_json())).unwrap();
+        let report = compare(&old, &new, 0.10);
+        assert!(report.passed());
+        assert_eq!(report.unmatched.len(), 2, "{:?}", report.unmatched);
+    }
+
+    #[test]
+    fn zero_baselines_are_skipped() {
+        let report = compare(&doc("0.00", "50.0"), &doc("5.00", "50.0"), 0.10);
+        assert!(report.passed());
+        assert_eq!(report.compared, 1);
+    }
+
+    #[test]
+    fn titles_do_not_gate_matching() {
+        let mut a = Table::new("BENCH PR6: demo", &["w", "wall-ms"]);
+        a.row(vec!["x".into(), "10.0".into()]);
+        let mut b = Table::new("BENCH PR7: demo", &["w", "wall-ms"]);
+        b.row(vec!["x".into(), "10.0".into()]);
+        let old = parse_doc(&format!("[{}]", a.to_json())).unwrap();
+        let new = parse_doc(&format!("[{}]", b.to_json())).unwrap();
+        let report = compare(&old, &new, 0.10);
+        assert!(report.passed());
+        assert_eq!(report.compared, 1);
+        assert!(report.unmatched.is_empty());
+    }
+}

@@ -13,7 +13,11 @@
 //!
 //! Wall-clock columns move with the host; the committed/aborts/defers
 //! columns are deterministic (seeded simulation, certified fast-path
-//! drain) and are the regression tripwires.
+//! drain) and are the regression tripwires. Each wall measurement is
+//! best-of-N (minimum over [`REPEATS`] runs) so the committed artifact
+//! reflects the code, not scheduler jitter — `bench_compare` diffs
+//! these artifacts at a 10% threshold, which single-shot millisecond
+//! timings would trip spuriously.
 
 use std::time::Duration;
 
@@ -27,8 +31,23 @@ use crate::table::{f2, Table};
 /// The fixed seed every replay cell uses.
 pub const SEED: u64 = 0x6B;
 
+/// Wall-clock repeats per cell; the reported time is the minimum.
+pub const REPEATS: usize = 5;
+
 fn replay_row(table: &mut Table, row: &str, wl: &mla_workload::Workload, kind: ControlKind) {
-    let cell = run_cell(wl, kind, SEED);
+    let key = |m: &mla_sim::Metrics| (m.committed, m.aborts, m.defers, m.makespan);
+    let mut cell = run_cell(wl, kind, SEED);
+    for _ in 1..REPEATS {
+        let again = run_cell(wl, kind, SEED);
+        assert_eq!(
+            key(&again.outcome.metrics),
+            key(&cell.outcome.metrics),
+            "seeded replay must be deterministic across repeats"
+        );
+        if again.wall_seconds < cell.wall_seconds {
+            cell = again;
+        }
+    }
     let m = &cell.outcome.metrics;
     table.row(vec![
         row.to_string(),
@@ -42,9 +61,9 @@ fn replay_row(table: &mut Table, row: &str, wl: &mla_workload::Workload, kind: C
 }
 
 /// The simulated-clock replay table.
-pub fn replay_table(quick: bool) -> Table {
+pub fn replay_table(quick: bool, pr: &str) -> Table {
     let mut table = Table::new(
-        "BENCH PR6: scheduler replay (simulated clock, seed 0x6B)",
+        format!("BENCH {pr}: scheduler replay (simulated clock, seed 0x6B)"),
         &[
             "workload", "control", "wall-ms", "commits", "aborts", "defers", "thru/kt",
         ],
@@ -116,9 +135,9 @@ pub fn replay_table(quick: bool) -> Table {
 
 /// The live-service table: certified partitioned drain on worker
 /// threads, wall-clock throughput with tail latency.
-pub fn serve_table(quick: bool) -> Table {
+pub fn serve_table(quick: bool, pr: &str) -> Table {
     let mut table = Table::new(
-        "BENCH PR6: mla-serve (live threads, MVCC storage, wall clock)",
+        format!("BENCH {pr}: mla-serve (live threads, MVCC storage, wall clock)"),
         &[
             "sessions", "txns", "sched", "commits", "drain-ms", "txn/s", "p50-us", "p95-us",
             "p99-us",
@@ -133,7 +152,15 @@ pub fn serve_table(quick: bool) -> Table {
         deadline: Duration::from_secs(300),
         ..Default::default()
     };
-    let report = serve_run(&load, &config);
+    // Live threads are noisier than seeded replay: take the fastest
+    // drain of three and report that run's latencies with it.
+    let mut report = serve_run(&load, &config);
+    for _ in 1..3 {
+        let again = serve_run(&load, &config);
+        if again.wall < report.wall {
+            report = again;
+        }
+    }
     assert!(
         report.clean,
         "bench drain must complete before the deadline"
@@ -158,9 +185,17 @@ pub fn serve_table(quick: bool) -> Table {
     table
 }
 
-/// Runs the whole PR6 bench suite.
+/// Runs the whole bench suite with the PR6 title stamp.
 pub fn run(quick: bool) -> Vec<Table> {
-    vec![replay_table(quick), serve_table(quick)]
+    run_labeled(quick, "PR6")
+}
+
+/// Runs the whole bench suite, stamping `pr` into the table titles.
+/// Row keys and headers are stable across PRs — `bench_compare`
+/// matches tables by header, so artifacts from different PRs diff
+/// cleanly whatever their titles say.
+pub fn run_labeled(quick: bool, pr: &str) -> Vec<Table> {
+    vec![replay_table(quick, pr), serve_table(quick, pr)]
 }
 
 #[cfg(test)]

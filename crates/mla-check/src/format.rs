@@ -1,0 +1,301 @@
+//! The `mla-history v1` text format.
+//!
+//! Line-oriented, `#` comments, blank lines ignored:
+//!
+//! ```text
+//! mla-history v1
+//! nest k 3                     # nest depth (k >= 2)
+//! txn t0 path 0                # one per transaction, dense ids, k-2 path classes
+//! txn t1 path 1
+//! break t0 2 1 3               # level-2 breakpoints of t0 after steps 1 and 3
+//! entity x9                    # declared entity no step touches (optional)
+//! step t0 0 x4 0 5             # txn, seq, entity, observed, wrote — in recorded order
+//! step t1 0 x4 5 5
+//! ```
+//!
+//! The writer emits the canonical form — transactions in id order,
+//! `break` lines only for non-empty levels, `entity` lines only for
+//! declared-but-unused entities, steps in execution order — and the
+//! parser canonicalizes on construction, so `parse(write(h)) == h`
+//! structurally (pinned by proptest in `tests/format_roundtrip.rs`).
+
+use mla_core::nest::Nest;
+use mla_model::{EntityId, Execution, Step, TxnId};
+
+use crate::history::History;
+
+/// The header every history file starts with.
+pub const HEADER: &str = "mla-history v1";
+
+/// A parse failure, with the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FormatError {
+    /// 1-based line of the offending input (0 for end-of-input errors).
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Renders a history in canonical `mla-history v1` form.
+pub fn write(h: &History) -> String {
+    let nest = h.nest();
+    let k = nest.k();
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str(&format!("nest k {k}\n"));
+    for t in 0..nest.txn_count() {
+        let txn = TxnId(t as u32);
+        if k == 2 {
+            out.push_str(&format!("txn t{t}\n"));
+        } else {
+            let path: Vec<String> = nest.path(txn).iter().map(|c| c.to_string()).collect();
+            out.push_str(&format!("txn t{t} path {}\n", path.join(" ")));
+        }
+    }
+    for t in 0..nest.txn_count() {
+        for (j, level) in h.marks(TxnId(t as u32)).iter().enumerate() {
+            if level.is_empty() {
+                continue;
+            }
+            let pos: Vec<String> = level.iter().map(|p| p.to_string()).collect();
+            out.push_str(&format!("break t{t} {} {}\n", j + 2, pos.join(" ")));
+        }
+    }
+    for e in h.extra_entities() {
+        out.push_str(&format!("entity x{}\n", e.0));
+    }
+    for s in h.exec().steps() {
+        out.push_str(&format!(
+            "step t{} {} x{} {} {}\n",
+            s.txn.0, s.seq, s.entity.0, s.observed, s.wrote
+        ));
+    }
+    out
+}
+
+fn err(line: usize, msg: impl Into<String>) -> FormatError {
+    FormatError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn ident(tok: &str, prefix: char, line: usize) -> Result<u32, FormatError> {
+    tok.strip_prefix(prefix)
+        .and_then(|d| d.parse().ok())
+        .ok_or_else(|| err(line, format!("expected {prefix}<id>, got `{tok}`")))
+}
+
+fn num<T: std::str::FromStr>(tok: Option<&str>, what: &str, line: usize) -> Result<T, FormatError> {
+    tok.and_then(|t| t.parse().ok())
+        .ok_or_else(|| err(line, format!("expected {what}")))
+}
+
+/// Parses `mla-history v1` text into a canonical [`History`].
+pub fn parse(src: &str) -> Result<History, FormatError> {
+    let mut lines = src
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.split('#').next().unwrap_or("").trim()))
+        .filter(|(_, l)| !l.is_empty());
+
+    match lines.next() {
+        Some((_, l)) if l == HEADER => {}
+        Some((n, l)) => return Err(err(n, format!("expected `{HEADER}`, got `{l}`"))),
+        None => return Err(err(0, format!("empty input, expected `{HEADER}`"))),
+    }
+
+    let mut k: Option<usize> = None;
+    let mut paths: Vec<Vec<u32>> = Vec::new();
+    let mut marks: Vec<Vec<Vec<usize>>> = Vec::new();
+    let mut extra: Vec<EntityId> = Vec::new();
+    let mut steps: Vec<Step> = Vec::new();
+
+    for (n, line) in lines {
+        let mut tok = line.split_whitespace();
+        let key = tok.next().expect("non-empty line has a first token");
+        match key {
+            "nest" => {
+                if k.is_some() {
+                    return Err(err(n, "duplicate nest line"));
+                }
+                if tok.next() != Some("k") {
+                    return Err(err(n, "expected `nest k <depth>`"));
+                }
+                let depth: usize = num(tok.next(), "nest depth", n)?;
+                if depth < 2 {
+                    return Err(err(n, format!("nest depth {depth} < 2")));
+                }
+                k = Some(depth);
+            }
+            "txn" => {
+                let k = k.ok_or_else(|| err(n, "txn before nest line"))?;
+                let t = ident(tok.next().unwrap_or(""), 't', n)? as usize;
+                if t != paths.len() {
+                    return Err(err(
+                        n,
+                        format!(
+                            "transactions must be declared densely: got t{t}, expected t{}",
+                            paths.len()
+                        ),
+                    ));
+                }
+                let mut path = Vec::new();
+                match tok.next() {
+                    None => {}
+                    Some("path") => {
+                        for p in tok.by_ref() {
+                            path.push(num(Some(p), "path class", n)?);
+                        }
+                    }
+                    Some(other) => return Err(err(n, format!("expected `path`, got `{other}`"))),
+                }
+                if path.len() != k - 2 {
+                    return Err(err(
+                        n,
+                        format!(
+                            "t{t} path has {} classes, nest k {k} needs {}",
+                            path.len(),
+                            k - 2
+                        ),
+                    ));
+                }
+                paths.push(path);
+            }
+            "break" => {
+                let k = k.ok_or_else(|| err(n, "break before nest line"))?;
+                let t = ident(tok.next().unwrap_or(""), 't', n)? as usize;
+                if t >= paths.len() {
+                    return Err(err(n, format!("break for undeclared t{t}")));
+                }
+                let level: usize = num(tok.next(), "break level", n)?;
+                if !(2..k).contains(&level) {
+                    return Err(err(n, format!("break level {level} outside 2..={}", k - 1)));
+                }
+                if marks.len() < paths.len() {
+                    marks.resize(paths.len(), Vec::new());
+                }
+                if marks[t].is_empty() {
+                    marks[t] = vec![Vec::new(); k - 2];
+                }
+                let mut any = false;
+                for p in tok {
+                    marks[t][level - 2].push(num(Some(p), "break position", n)?);
+                    any = true;
+                }
+                if !any {
+                    return Err(err(n, "break line lists no positions"));
+                }
+            }
+            "entity" => {
+                let e = ident(tok.next().unwrap_or(""), 'x', n)?;
+                extra.push(EntityId(e));
+            }
+            "step" => {
+                if k.is_none() {
+                    return Err(err(n, "step before nest line"));
+                }
+                let t = ident(tok.next().unwrap_or(""), 't', n)?;
+                if t as usize >= paths.len() {
+                    return Err(err(n, format!("step for undeclared t{t}")));
+                }
+                let seq: u32 = num(tok.next(), "step seq", n)?;
+                let e = ident(tok.next().unwrap_or(""), 'x', n)?;
+                let observed: i64 = num(tok.next(), "observed value", n)?;
+                let wrote: i64 = num(tok.next(), "wrote value", n)?;
+                steps.push(Step {
+                    txn: TxnId(t),
+                    seq,
+                    entity: EntityId(e),
+                    observed,
+                    wrote,
+                });
+            }
+            other => return Err(err(n, format!("unknown directive `{other}`"))),
+        }
+        if let Some(extra_tok) = line.split_whitespace().nth(match key {
+            // Directives with fixed arity; variable-arity ones
+            // consumed their tail above.
+            "nest" => 3,
+            "entity" => 2,
+            "step" => 6,
+            _ => continue,
+        }) {
+            return Err(err(n, format!("trailing `{extra_tok}`")));
+        }
+    }
+
+    let k = k.ok_or_else(|| err(0, "missing nest line"))?;
+    let nest = Nest::new(k, paths).map_err(|e| err(0, e.to_string()))?;
+    let exec = Execution::new(steps).map_err(|e| err(0, e.to_string()))?;
+    History::new(nest, marks, extra, exec).map_err(|e| err(0, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_doc_example() {
+        let src = "\
+mla-history v1
+nest k 3
+txn t0 path 0
+txn t1 path 1
+break t0 2 1   # after step 1
+entity x9
+step t0 0 x4 0 5
+step t0 1 x4 5 6
+step t1 0 x4 6 6
+";
+        let h = parse(src).unwrap();
+        assert_eq!(h.nest().k(), 3);
+        assert_eq!(h.nest().txn_count(), 2);
+        assert_eq!(h.marks(TxnId(0)), &[vec![1]]);
+        assert_eq!(h.extra_entities(), &[EntityId(9)]);
+        assert_eq!(h.exec().len(), 3);
+        assert_eq!(parse(&write(&h)).unwrap(), h);
+    }
+
+    #[test]
+    fn empty_nest_round_trips() {
+        let h = History::new(
+            Nest::new(2, vec![]).unwrap(),
+            vec![],
+            vec![],
+            Execution::empty(),
+        )
+        .unwrap();
+        let text = write(&h);
+        assert_eq!(parse(&text).unwrap(), h);
+    }
+
+    #[test]
+    fn rejects_sparse_txn_ids() {
+        let src = "mla-history v1\nnest k 2\ntxn t1\n";
+        assert!(parse(src).unwrap_err().msg.contains("densely"));
+    }
+
+    #[test]
+    fn rejects_bad_header_and_reports_lines() {
+        let e = parse("mla-history v2\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse("mla-history v1\nnest k 2\nwat\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn rejects_discontiguous_seq() {
+        let src = "mla-history v1\nnest k 2\ntxn t0\nstep t0 1 x0 0 0\n";
+        assert!(parse(src).is_err());
+    }
+}

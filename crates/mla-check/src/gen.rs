@@ -1,0 +1,356 @@
+//! Seeded random history generation and the differential mutation
+//! operators — the `testgen` analogue.
+//!
+//! [`generate`] draws a random nest, breakpoint marks (refining by
+//! construction: each mid level is a subset of the one above), entity
+//! scripts, and a random value-consistent interleaving, so the
+//! resulting [`History`] is exactly what a black-box system under test
+//! would log. Verdicts are *not* biased: the draw produces both
+//! correctable and non-correctable histories, which is what the
+//! differential suite wants.
+//!
+//! [`mutate`] applies one of the three corruption operators the
+//! differential suite cross-checks against the Theorem 2 oracle:
+//!
+//! * [`Mutation::SwapAdjacent`] — swap two adjacent steps of different
+//!   transactions (biased toward same-entity pairs, which flip a
+//!   dependency edge);
+//! * [`Mutation::DropBreakpoint`] — remove one breakpoint position from
+//!   every mid level of one transaction (strictly stricter, so a
+//!   correctable history can become non-correctable but never the
+//!   reverse);
+//! * [`Mutation::ReadFromRewrite`] — move one step to a different legal
+//!   slot so it reads from a different predecessor on its entity
+//!   (program order preserved, per-entity access order changed).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use mla_core::nest::Nest;
+use mla_model::{EntityId, Execution, Step, TxnId, Value};
+
+use crate::history::History;
+
+/// Generator dimensions. All draws come from the caller's RNG, so one
+/// seed pins the whole corpus.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Transactions in the nest.
+    pub txns: usize,
+    /// Entity pool size.
+    pub entities: usize,
+    /// Nest depth (`>= 2`).
+    pub k: usize,
+    /// Minimum steps per transaction.
+    pub min_len: usize,
+    /// Maximum steps per transaction.
+    pub max_len: usize,
+    /// Percent chance each eligible position carries a top-mid-level
+    /// breakpoint.
+    pub break_pct: u32,
+    /// Percent chance a step writes back the value it observed
+    /// (duplicate values are what make weak-mode search branch).
+    pub dup_pct: u32,
+    /// Percent chance the history declares an entity no step touches.
+    pub extra_entity_pct: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            txns: 4,
+            entities: 3,
+            k: 3,
+            min_len: 1,
+            max_len: 4,
+            break_pct: 40,
+            dup_pct: 25,
+            extra_entity_pct: 20,
+        }
+    }
+}
+
+fn pct(rng: &mut SmallRng, p: u32) -> bool {
+    rng.gen_range(0..100u32) < p
+}
+
+/// Draws one random history.
+pub fn generate(cfg: &GenConfig, rng: &mut SmallRng) -> History {
+    assert!(cfg.k >= 2, "nest depth must be at least 2");
+    assert!(
+        cfg.min_len >= 1 && cfg.min_len <= cfg.max_len,
+        "step-count bounds must satisfy 1 <= min <= max"
+    );
+    let paths: Vec<Vec<u32>> = (0..cfg.txns)
+        .map(|_| (0..cfg.k - 2).map(|_| rng.gen_range(0..2u32)).collect())
+        .collect();
+    let nest = Nest::new(cfg.k, paths).expect("generated paths match the depth");
+
+    let programs: Vec<Vec<EntityId>> = (0..cfg.txns)
+        .map(|_| {
+            let len = rng.gen_range(cfg.min_len..=cfg.max_len);
+            (0..len)
+                .map(|_| EntityId(rng.gen_range(0..cfg.entities.max(1) as u32)))
+                .collect()
+        })
+        .collect();
+
+    // Mid-level marks, drawn top-down so each level refines the one
+    // above: mid[k-3] is level k-1 (the loosest), mid[0] is level 2.
+    let mut marks: Vec<Vec<Vec<usize>>> = Vec::with_capacity(cfg.txns);
+    for program in &programs {
+        let mut levels = vec![Vec::new(); cfg.k - 2];
+        if cfg.k > 2 {
+            let top: Vec<usize> = (1..program.len())
+                .filter(|_| pct(rng, cfg.break_pct))
+                .collect();
+            levels[cfg.k - 3] = top;
+            for j in (0..cfg.k.saturating_sub(3)).rev() {
+                levels[j] = levels[j + 1]
+                    .iter()
+                    .copied()
+                    .filter(|_| pct(rng, 50))
+                    .collect();
+            }
+        }
+        marks.push(levels);
+    }
+
+    // A random interleaving with simulated values: observed is the
+    // entity's current value, wrote bumps it (or repeats it, for
+    // weak-mode ambiguity).
+    let mut store: Vec<Value> = vec![0; cfg.entities.max(1)];
+    let mut next = vec![0usize; cfg.txns];
+    let mut steps = Vec::new();
+    let mut live: Vec<usize> = (0..cfg.txns).filter(|&t| !programs[t].is_empty()).collect();
+    while !live.is_empty() {
+        let pick = rng.gen_range(0..live.len());
+        let t = live[pick];
+        let entity = programs[t][next[t]];
+        let observed = store[entity.index()];
+        let wrote = if pct(rng, cfg.dup_pct) {
+            observed
+        } else {
+            observed + 1
+        };
+        store[entity.index()] = wrote;
+        steps.push(Step {
+            txn: TxnId(t as u32),
+            seq: next[t] as u32,
+            entity,
+            observed,
+            wrote,
+        });
+        next[t] += 1;
+        if next[t] == programs[t].len() {
+            live.swap_remove(pick);
+        }
+    }
+
+    let extra = if pct(rng, cfg.extra_entity_pct) {
+        vec![EntityId(cfg.entities as u32 + rng.gen_range(0..2u32))]
+    } else {
+        Vec::new()
+    };
+
+    let exec = Execution::new(steps).expect("interleaving respects program order");
+    History::new(nest, marks, extra, exec).expect("generated marks fit the programs")
+}
+
+/// The corruption operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Swap two adjacent steps of different transactions.
+    SwapAdjacent,
+    /// Remove one breakpoint position from every mid level of one
+    /// transaction.
+    DropBreakpoint,
+    /// Move one step so it reads from a different predecessor on its
+    /// entity.
+    ReadFromRewrite,
+}
+
+impl Mutation {
+    /// Short stable name, used in corpus file names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Mutation::SwapAdjacent => "swap",
+            Mutation::DropBreakpoint => "drop",
+            Mutation::ReadFromRewrite => "rfw",
+        }
+    }
+}
+
+/// All operators, in a fixed order.
+pub const MUTATIONS: [Mutation; 3] = [
+    Mutation::SwapAdjacent,
+    Mutation::DropBreakpoint,
+    Mutation::ReadFromRewrite,
+];
+
+fn rebuild(h: &History, steps: Vec<Step>, marks: Vec<Vec<Vec<usize>>>) -> Option<History> {
+    History::new(
+        h.nest().clone(),
+        marks,
+        h.extra_entities().to_vec(),
+        Execution::new(steps).ok()?,
+    )
+    .ok()
+}
+
+fn all_marks(h: &History) -> Vec<Vec<Vec<usize>>> {
+    (0..h.nest().txn_count())
+        .map(|t| h.marks(TxnId(t as u32)).to_vec())
+        .collect()
+}
+
+/// Per-entity access orders, for detecting semantic no-op moves.
+fn entity_orders(steps: &[Step]) -> Vec<(EntityId, Vec<(TxnId, u32)>)> {
+    let mut orders: Vec<(EntityId, Vec<(TxnId, u32)>)> = Vec::new();
+    for s in steps {
+        match orders.iter_mut().find(|(e, _)| *e == s.entity) {
+            Some((_, v)) => v.push((s.txn, s.seq)),
+            None => orders.push((s.entity, vec![(s.txn, s.seq)])),
+        }
+    }
+    orders.sort_by_key(|(e, _)| *e);
+    orders
+}
+
+/// Applies one mutation, or `None` when the history offers no site for
+/// it (no adjacent cross-transaction pair, no breakpoints, no
+/// reorderable read).
+pub fn mutate(h: &History, m: Mutation, rng: &mut SmallRng) -> Option<History> {
+    let steps = h.exec().steps();
+    match m {
+        Mutation::SwapAdjacent => {
+            let cross: Vec<usize> = (0..steps.len().saturating_sub(1))
+                .filter(|&i| steps[i].txn != steps[i + 1].txn)
+                .collect();
+            if cross.is_empty() {
+                return None;
+            }
+            let conflicting: Vec<usize> = cross
+                .iter()
+                .copied()
+                .filter(|&i| steps[i].entity == steps[i + 1].entity)
+                .collect();
+            let pool = if conflicting.is_empty() {
+                &cross
+            } else {
+                &conflicting
+            };
+            let i = pool[rng.gen_range(0..pool.len())];
+            let mut out = steps.to_vec();
+            out.swap(i, i + 1);
+            rebuild(h, out, all_marks(h))
+        }
+        Mutation::DropBreakpoint => {
+            let mut sites: Vec<(usize, usize)> = Vec::new();
+            for t in 0..h.nest().txn_count() {
+                let mut positions: Vec<usize> =
+                    h.marks(TxnId(t as u32)).iter().flatten().copied().collect();
+                positions.sort_unstable();
+                positions.dedup();
+                sites.extend(positions.into_iter().map(|p| (t, p)));
+            }
+            if sites.is_empty() {
+                return None;
+            }
+            let (t, pos) = sites[rng.gen_range(0..sites.len())];
+            let mut marks = all_marks(h);
+            for level in &mut marks[t] {
+                level.retain(|&p| p != pos);
+            }
+            rebuild(h, steps.to_vec(), marks)
+        }
+        Mutation::ReadFromRewrite => {
+            // Every (remove at i, reinsert at p) move that keeps the
+            // execution well-formed and changes some entity's access
+            // order — i.e. the moved step reads from someone new.
+            let original_orders = entity_orders(steps);
+            let mut candidates: Vec<(usize, usize)> = Vec::new();
+            for i in 0..steps.len() {
+                let mut rest = steps.to_vec();
+                let s = rest.remove(i);
+                for p in 0..=rest.len() {
+                    if p == i {
+                        continue;
+                    }
+                    let mut moved = rest.clone();
+                    moved.insert(p, s);
+                    if Execution::new(moved.clone()).is_ok()
+                        && entity_orders(&moved) != original_orders
+                    {
+                        candidates.push((i, p));
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                return None;
+            }
+            let (i, p) = candidates[rng.gen_range(0..candidates.len())];
+            let mut out = steps.to_vec();
+            let s = out.remove(i);
+            out.insert(p, s);
+            rebuild(h, out, all_marks(h))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = GenConfig::default();
+        let a = generate(&cfg, &mut SmallRng::seed_from_u64(7));
+        let b = generate(&cfg, &mut SmallRng::seed_from_u64(7));
+        let c = generate(&cfg, &mut SmallRng::seed_from_u64(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mutations_produce_wellformed_distinct_histories() {
+        let cfg = GenConfig {
+            txns: 3,
+            break_pct: 80,
+            ..GenConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut applied = [0usize; 3];
+        for _ in 0..40 {
+            let h = generate(&cfg, &mut rng);
+            for (mi, &m) in MUTATIONS.iter().enumerate() {
+                if let Some(mutant) = mutate(&h, m, &mut rng) {
+                    assert_ne!(mutant, h, "{m:?} must change the history");
+                    applied[mi] += 1;
+                }
+            }
+        }
+        for (mi, &m) in MUTATIONS.iter().enumerate() {
+            assert!(applied[mi] > 0, "{m:?} never applied across 40 draws");
+        }
+    }
+
+    #[test]
+    fn swap_preserves_program_order() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let h = generate(&cfg, &mut rng);
+            if let Some(m) = mutate(&h, Mutation::SwapAdjacent, &mut rng) {
+                // Execution::new inside rebuild already validated seq
+                // contiguity; spot-check the step multiset survived.
+                let mut a: Vec<Step> = h.exec().steps().to_vec();
+                let mut b: Vec<Step> = m.exec().steps().to_vec();
+                a.sort_by_key(|s| (s.txn, s.seq));
+                b.sort_by_key(|s| (s.txn, s.seq));
+                assert_eq!(a, b);
+            }
+        }
+    }
+}

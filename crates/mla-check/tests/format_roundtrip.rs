@@ -1,0 +1,97 @@
+//! Round-trip pin for the `mla-history v1` text format:
+//! `parse(write(h)) == h` over generator-produced histories — random
+//! depths, single-step transactions, duplicate values, declared-unused
+//! entities — plus the degenerate shapes the generator cannot reach
+//! (empty nest, transactionless entities-only files) and every mutant
+//! the differential suite feeds the parser.
+
+use mla_check::{format_history, generate, mutate, parse, GenConfig, History, MUTATIONS};
+use mla_core::nest::Nest;
+use mla_model::{EntityId, Execution};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_config(rng: &mut SmallRng) -> GenConfig {
+    GenConfig {
+        txns: rng.gen_range(0..=6usize),
+        entities: rng.gen_range(1..=4usize),
+        k: rng.gen_range(2..=4usize),
+        min_len: 1,
+        max_len: rng.gen_range(1..=5usize),
+        break_pct: rng.gen_range(0..=100u32),
+        dup_pct: rng.gen_range(0..=100u32),
+        extra_entity_pct: 50,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn parse_inverts_write(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = random_config(&mut rng);
+        let h = generate(&cfg, &mut rng);
+        let text = format_history(&h);
+        let back = parse(&text).expect("writer output must parse");
+        prop_assert_eq!(&back, &h);
+        // Idempotence: the canonical form is a fixpoint.
+        prop_assert_eq!(format_history(&back), text);
+    }
+
+    #[test]
+    fn mutants_round_trip_too(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+        let cfg = GenConfig { break_pct: 70, ..GenConfig::default() };
+        let h = generate(&cfg, &mut rng);
+        for m in MUTATIONS {
+            if let Some(mutant) = mutate(&h, m, &mut rng) {
+                let back = parse(&format_history(&mutant)).expect("mutant must parse");
+                prop_assert_eq!(back, mutant);
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_nest_round_trips() {
+    for k in 2..=4 {
+        let h = History::new(
+            Nest::new(k, vec![]).unwrap(),
+            vec![],
+            vec![],
+            Execution::empty(),
+        )
+        .unwrap();
+        assert_eq!(parse(&format_history(&h)).unwrap(), h);
+    }
+}
+
+#[test]
+fn transactionless_declared_entities_round_trip() {
+    let h = History::new(
+        Nest::new(3, vec![]).unwrap(),
+        vec![],
+        vec![EntityId(4), EntityId(0)],
+        Execution::empty(),
+    )
+    .unwrap();
+    assert_eq!(h.extra_entities(), &[EntityId(0), EntityId(4)]);
+    assert_eq!(parse(&format_history(&h)).unwrap(), h);
+}
+
+#[test]
+fn single_step_transactions_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0xA11);
+    let cfg = GenConfig {
+        txns: 5,
+        min_len: 1,
+        max_len: 1,
+        ..GenConfig::default()
+    };
+    for _ in 0..8 {
+        let h = generate(&cfg, &mut rng);
+        assert_eq!(parse(&format_history(&h)).unwrap(), h);
+    }
+}

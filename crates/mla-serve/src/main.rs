@@ -23,6 +23,8 @@ USAGE: mla-serve [OPTIONS]
   --no-gc                        disable the epoch GC thread
   --deadline-secs N              liveness backstop     [60]
   --audit-window N               oracle window, 0=full history [0]
+  --dump-history PATH            write the drained history in
+                                 mla-history v1 (mla-check) format
   --quiet                        suppress the report block
 ";
 
@@ -41,6 +43,7 @@ fn main() {
     let mut audit_every = 8usize;
     let mut config = ServeConfig::default();
     let mut audit_window = 0usize;
+    let mut dump_history: Option<String> = None;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -70,6 +73,7 @@ fn main() {
                 config.deadline = Duration::from_secs(parse_or_die(&a, args.next()))
             }
             "--audit-window" => audit_window = parse_or_die(&a, args.next()),
+            "--dump-history" => dump_history = Some(parse_or_die(&a, args.next())),
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -117,6 +121,18 @@ fn main() {
             report.wall,
             audit_started.elapsed()
         );
+    }
+
+    if let Some(path) = dump_history {
+        let exec = mla_model::Execution::new(report.history.clone())
+            .expect("service histories are seq-contiguous");
+        let h = mla_check::History::from_execution(&exec, nest, &spec)
+            .expect("service history matches its nest and spec");
+        if let Err(e) = std::fs::write(&path, mla_check::format_history(&h)) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("history     wrote {} steps to {path}", exec.len());
     }
 
     if !report.clean {

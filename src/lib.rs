@@ -29,6 +29,9 @@
 //!   smells, and §5 safety certification with stable `MLA0xx` codes.
 //! * [`serve`] — the live concurrent transaction service: worker threads
 //!   on MVCC storage, the MLA schedulers gating step admission.
+//! * [`check`] — the black-box history checker: text history format,
+//!   coherent-closure saturation per communication cluster, and the
+//!   constrained-linearization fallback for value-only dependency info.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +55,7 @@
 #![forbid(unsafe_code)]
 
 pub use mla_cc as cc;
+pub use mla_check as check;
 pub use mla_core as core;
 pub use mla_graph as graph;
 pub use mla_lint as lint;

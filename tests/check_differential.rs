@@ -1,0 +1,363 @@
+//! Differential cross-check of the black-box `mla-check` history
+//! checker against everything else that claims to understand
+//! multilevel atomicity:
+//!
+//! 1. **Schedulers.** Every history `MlaDetect` and `MlaPrevent` admit
+//!    — across the six backend shapes of the differential harness and
+//!    across `mla-serve` live runs — must pass `mla-check` after a trip
+//!    through the text format, and the returned witness must actually
+//!    be an equivalent multilevel-atomic execution.
+//! 2. **The Theorem 2 oracle.** On generated random histories (both
+//!    verdicts occur, nothing is biased) `mla-check`'s clustered
+//!    saturation must agree with the monolithic `decide` on every
+//!    history, and on every mutant (adjacent step swap, breakpoint
+//!    drop, read-from rewrite). Every rejection must carry a concrete
+//!    cycle witness whose steps resolve in the recorded execution and
+//!    span at least two transactions.
+//! 3. **Weak mode.** The constrained-linearization fallback may only
+//!    strengthen: on a value-consistent history the recorded order
+//!    itself realizes, so `Unrealizable` on a strong-pass history is a
+//!    soundness bug.
+//!
+//! The tier-1 sweep sizes put well over 500 generated histories through
+//! the oracle comparison; the `#[ignore]`d loop runs the unbounded
+//! version nightly.
+
+use multilevel_atomicity::cc::{MlaDetect, MlaPrevent, VictimPolicy};
+use multilevel_atomicity::check::checker::Verdict;
+use multilevel_atomicity::check::{
+    check, check_weak, format_history, generate, mutate, parse, GenConfig, History, WeakVerdict,
+    MUTATIONS,
+};
+use multilevel_atomicity::core::atomicity::is_multilevel_atomic;
+use multilevel_atomicity::core::theorem::decide;
+use multilevel_atomicity::model::program::{ScriptOp, ScriptProgram};
+use multilevel_atomicity::model::{EntityId, TxnId};
+use multilevel_atomicity::serve::{
+    contended_load, partitioned_load, run as serve_run, ServeConfig,
+};
+use multilevel_atomicity::sim::{run, SimConfig, SimOutcome};
+use multilevel_atomicity::txn::{NoBreakpoints, PhaseTable, RuntimeBreakpoints};
+use multilevel_atomicity::workload::Workload;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A random workload in the partitioned family (the construction the
+/// certificate-soundness suite uses): universe-local scripts, a shared
+/// entity per universe, random level-2 breakpoints.
+fn random_workload(rng: &mut SmallRng) -> Workload {
+    let k = 3;
+    let universes = rng.gen_range(1..=3usize);
+    let n = rng.gen_range(2..=6usize);
+    let mut programs: Vec<Arc<dyn multilevel_atomicity::model::Program + Send + Sync>> = Vec::new();
+    let mut breakpoints: Vec<Arc<dyn RuntimeBreakpoints>> = Vec::new();
+    let mut paths: Vec<Vec<u32>> = Vec::new();
+    let mut arrivals: Vec<u64> = Vec::new();
+    let mut entities: Vec<EntityId> = (0..universes as u32).map(EntityId).collect();
+    for t in 0..n {
+        let u = rng.gen_range(0..universes);
+        let len = rng.gen_range(1..=4usize);
+        let mut ops = Vec::with_capacity(len);
+        for i in 0..len {
+            let ent = if rng.gen_bool(0.5) {
+                EntityId(u as u32)
+            } else {
+                EntityId(((1 + t * 4 + i) * universes + u) as u32)
+            };
+            entities.push(ent);
+            ops.push(ScriptOp::Add(ent, 1));
+        }
+        let bp: Arc<dyn RuntimeBreakpoints> = if len > 1 && rng.gen_bool(0.6) {
+            let marks: Vec<(usize, usize)> = (1..len)
+                .filter(|_| rng.gen_bool(0.5))
+                .map(|p| (p, 2))
+                .collect();
+            Arc::new(PhaseTable::new(k, marks))
+        } else {
+            Arc::new(NoBreakpoints { k })
+        };
+        programs.push(Arc::new(ScriptProgram::new(ops)));
+        breakpoints.push(bp);
+        paths.push(vec![u as u32]);
+        arrivals.push(rng.gen_range(0..8u64) * 2);
+    }
+    entities.sort_unstable();
+    entities.dedup();
+    Workload {
+        name: "random-partitioned-ish".to_string(),
+        nest: multilevel_atomicity::core::nest::Nest::new(k, paths)
+            .expect("one universe path per transaction"),
+        programs,
+        breakpoints,
+        initial: entities.into_iter().map(|e| (e, 0)).collect(),
+        arrivals,
+    }
+}
+
+/// The six backend shapes: (shards, workers), (0, 0) = unsharded.
+const SHAPES: [(usize, usize); 6] = [(0, 0), (1, 0), (4, 0), (4, 2), (4, 4), (8, 3)];
+
+fn sim_run(
+    wl: &Workload,
+    control: &mut dyn multilevel_atomicity::sim::Control,
+    seed: u64,
+) -> SimOutcome {
+    run(
+        wl.nest.clone(),
+        wl.instances(),
+        wl.initial.iter().copied(),
+        &wl.arrivals,
+        &SimConfig::seeded(seed),
+        control,
+    )
+}
+
+/// Captures, round-trips through the text format, and checks one
+/// scheduler-admitted history; the witness must be equivalent and
+/// multilevel atomic.
+fn assert_admitted(wl: &Workload, out: &SimOutcome, label: &str) {
+    let h = History::from_execution(&out.execution, &wl.nest, &wl.spec())
+        .expect("admitted history matches nest and spec");
+    let h = parse(&format_history(&h)).expect("format round-trip");
+    match check(&h) {
+        Verdict::Pass { witness, .. } => {
+            assert!(
+                witness.equivalent(h.exec()),
+                "{label}: witness not equivalent to the admitted history"
+            );
+            assert!(
+                is_multilevel_atomic(&witness, &wl.nest, &wl.spec())
+                    .expect("witness matches nest and spec"),
+                "{label}: witness is not multilevel atomic"
+            );
+        }
+        Verdict::Fail { violation } => {
+            panic!("{label}: admitted history rejected by mla-check: {violation}")
+        }
+    }
+}
+
+#[test]
+fn detect_admitted_histories_pass_across_all_backends() {
+    for seed in 0..12u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD1FF_0000 + seed);
+        let wl = random_workload(&mut rng);
+        for (shards, workers) in SHAPES {
+            let mut c = MlaDetect::new(wl.spec(), VictimPolicy::FewestSteps);
+            if shards > 0 {
+                c = c.with_shards(shards);
+            }
+            if workers > 0 {
+                c = c.with_parallelism(workers);
+            }
+            let out = sim_run(&wl, &mut c, seed);
+            assert_admitted(&wl, &out, &format!("detect {shards}x{workers} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn prevent_admitted_histories_pass() {
+    for seed in 0..12u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD1FF_1000 + seed);
+        let wl = random_workload(&mut rng);
+        for shards in [0usize, 4] {
+            let mut c = MlaPrevent::new(wl.txn_count(), wl.spec(), VictimPolicy::FewestSteps);
+            if shards > 0 {
+                c = c.with_shards(shards);
+            }
+            let out = sim_run(&wl, &mut c, seed);
+            assert_admitted(&wl, &out, &format!("prevent x{shards} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn serve_histories_pass() {
+    for (load, label) in [
+        (partitioned_load(4, 6), "partitioned"),
+        (contended_load(4, 6, 4, 0), "contended"),
+    ] {
+        let report = serve_run(&load, &ServeConfig::default());
+        assert!(report.clean, "{label}: serve drain incomplete");
+        let exec = multilevel_atomicity::model::Execution::new(report.history.clone())
+            .expect("service histories are seq-contiguous");
+        let h = History::from_execution(&exec, &load.workload.nest, &load.workload.spec())
+            .expect("serve history matches nest and spec");
+        let h = parse(&format_history(&h)).expect("format round-trip");
+        assert!(
+            check(&h).passed(),
+            "{label}: serve history rejected by mla-check"
+        );
+    }
+}
+
+/// One oracle-vs-checker comparison; returns whether the history
+/// passed. Rejections must locate a multi-transaction cycle in the
+/// recorded steps.
+fn assert_agreement(h: &History, label: &str) -> bool {
+    let oracle = decide(h.exec(), h.nest(), h).expect("history is self-consistent");
+    match (oracle.is_correctable(), check(h)) {
+        (true, Verdict::Pass { witness, .. }) => {
+            assert!(
+                witness.equivalent(h.exec()),
+                "{label}: witness not equivalent"
+            );
+            assert!(
+                is_multilevel_atomic(&witness, h.nest(), h).expect("witness is self-consistent"),
+                "{label}: witness not multilevel atomic"
+            );
+            true
+        }
+        (false, Verdict::Fail { violation }) => {
+            assert!(
+                violation.cycle.len() >= 2,
+                "{label}: cycle witness too short"
+            );
+            let mut txns: Vec<TxnId> = violation.cycle.iter().map(|s| s.txn).collect();
+            txns.sort_unstable();
+            txns.dedup();
+            assert!(
+                txns.len() >= 2,
+                "{label}: closure cycle confined to one transaction"
+            );
+            for s in &violation.cycle {
+                let rec = h.exec().steps()[s.global];
+                assert_eq!(
+                    (rec.txn, rec.seq),
+                    (s.txn, s.seq),
+                    "{label}: dangling cycle ref"
+                );
+            }
+            false
+        }
+        (correctable, verdict) => panic!(
+            "{label}: oracle says correctable={correctable}, mla-check says {}",
+            verdict.render()
+        ),
+    }
+}
+
+fn generated_sweep(cases: usize, seed_base: u64, with_mutants: bool) -> (usize, usize) {
+    let (mut passed, mut failed) = (0usize, 0usize);
+    for i in 0..cases {
+        let mut rng = SmallRng::seed_from_u64(seed_base + i as u64);
+        let cfg = GenConfig {
+            txns: rng.gen_range(1..=6usize),
+            entities: rng.gen_range(1..=4usize),
+            k: rng.gen_range(2..=4usize),
+            break_pct: rng.gen_range(0..=80u32),
+            ..GenConfig::default()
+        };
+        let h = generate(&cfg, &mut rng);
+        if assert_agreement(&h, &format!("gen {i}")) {
+            passed += 1;
+        } else {
+            failed += 1;
+        }
+        if with_mutants {
+            for m in MUTATIONS {
+                if let Some(mutant) = mutate(&h, m, &mut rng) {
+                    if assert_agreement(&mutant, &format!("gen {i} {m:?}")) {
+                        passed += 1;
+                    } else {
+                        failed += 1;
+                    }
+                }
+            }
+        }
+    }
+    (passed, failed)
+}
+
+#[test]
+fn generated_histories_agree_with_the_theorem_oracle() {
+    let (passed, failed) = generated_sweep(300, 0x0A11_0000, false);
+    assert!(
+        passed >= 40,
+        "only {passed} correctable draws — sweep is biased"
+    );
+    assert!(
+        failed >= 40,
+        "only {failed} violating draws — sweep is biased"
+    );
+}
+
+#[test]
+fn oracle_rejected_mutants_fail_with_cycle_witnesses() {
+    // assert_agreement panics on any disagreement and insists every
+    // rejection carries a resolvable multi-transaction cycle, so the
+    // counts just pin that mutation actually flips verdicts at scale.
+    let (passed, failed) = generated_sweep(200, 0x0A11_9000, true);
+    assert!(
+        passed + failed >= 500,
+        "sweep too small: {}",
+        passed + failed
+    );
+    assert!(failed >= 100, "only {failed} rejections across mutants");
+}
+
+#[test]
+fn weak_mode_never_contradicts_a_strong_pass() {
+    let mut realized = 0usize;
+    for i in 0..60u64 {
+        let mut rng = SmallRng::seed_from_u64(0x3EA4_0000 + i);
+        let cfg = GenConfig {
+            txns: rng.gen_range(1..=4usize),
+            dup_pct: rng.gen_range(0..=60u32),
+            ..GenConfig::default()
+        };
+        let h = generate(&cfg, &mut rng);
+        if !check(&h).passed() {
+            continue;
+        }
+        match check_weak(&h, 100_000) {
+            WeakVerdict::Realizable { order } => {
+                realized += 1;
+                let back = History::from_execution(&order, h.nest(), &h)
+                    .expect("realization matches nest and spec");
+                assert!(
+                    check(&back).passed(),
+                    "gen {i}: realization not correctable"
+                );
+            }
+            WeakVerdict::Unrealizable => {
+                panic!("gen {i}: weak mode contradicts a strong pass")
+            }
+            WeakVerdict::BudgetExhausted => {}
+        }
+    }
+    assert!(
+        realized >= 10,
+        "weak mode realized only {realized} histories"
+    );
+}
+
+/// The unbounded loop the nightly job runs: same assertions, much more
+/// volume, fresh seeds each invocation position.
+#[test]
+#[ignore]
+fn unbounded_random_differential() {
+    let (passed, failed) = generated_sweep(1500, 0x2162_0000, true);
+    assert!(passed > 0 && failed > 0);
+    for seed in 100..130u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD1FF_2000 + seed);
+        let wl = random_workload(&mut rng);
+        for (shards, workers) in SHAPES {
+            let mut c = MlaDetect::new(wl.spec(), VictimPolicy::FewestSteps);
+            if shards > 0 {
+                c = c.with_shards(shards);
+            }
+            if workers > 0 {
+                c = c.with_parallelism(workers);
+            }
+            let out = sim_run(&wl, &mut c, seed);
+            assert_admitted(
+                &wl,
+                &out,
+                &format!("nightly detect {shards}x{workers} {seed}"),
+            );
+        }
+    }
+}
