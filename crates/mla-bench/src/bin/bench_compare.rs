@@ -1,11 +1,14 @@
 //! Perf-trajectory gate: diff two committed bench artifacts and exit
-//! nonzero if any matched metric row regressed past the threshold.
+//! nonzero if any matched metric row regressed past the threshold, or
+//! if a populated baseline table lost every row (a rename would
+//! otherwise walk its metrics past the gate).
 //!
 //! ```text
 //! bench_compare OLD.json NEW.json [--threshold 0.10]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 regression found, 2 usage or parse failure.
+//! Exit codes: 0 clean, 1 regression or lost coverage, 2 usage or
+//! parse failure.
 
 use mla_bench::compare::{compare, parse_doc};
 
@@ -72,13 +75,17 @@ fn main() {
     if report.passed() {
         println!("PASS: no regression");
     } else {
+        for c in &report.coverage_failures {
+            println!("COVERAGE LOST: {c}");
+        }
         for r in &report.regressions {
             println!("REGRESSION: {r}");
         }
         eprintln!(
-            "{} regression(s) past {:.0}%",
+            "{} regression(s) past {:.0}%, {} table(s) with baseline coverage lost",
             report.regressions.len(),
-            threshold * 100.0
+            threshold * 100.0,
+            report.coverage_failures.len()
         );
         std::process::exit(1);
     }

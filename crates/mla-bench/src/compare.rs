@@ -310,15 +310,20 @@ pub struct CompareReport {
     pub compared: usize,
     /// Regressions past the threshold.
     pub regressions: Vec<Regression>,
-    /// Row keys present on only one side, or tables with no
-    /// counterpart — reported, not failed (a PR may add rows).
+    /// *Some* row keys present on only one side, or tables new in this
+    /// artifact — reported, not failed (a PR may add rows or tables).
     pub unmatched: Vec<String>,
+    /// Baseline coverage lost wholesale: a non-empty old table with no
+    /// counterpart, or a matched table none of whose baseline rows
+    /// matched. Warning here would let a renamed table (or renamed row
+    /// keys) slip every metric past the gate, so these fail it.
+    pub coverage_failures: Vec<String>,
 }
 
 impl CompareReport {
     /// Whether the gate passes.
     pub fn passed(&self) -> bool {
-        self.regressions.is_empty()
+        self.regressions.is_empty() && self.coverage_failures.is_empty()
     }
 }
 
@@ -351,9 +356,12 @@ pub fn compare(old: &BenchDoc, new: &BenchDoc, threshold: f64) -> CompareReport 
     }
     for (sig, t) in old.tables.iter().map(|t| (t.header.join("|"), t)) {
         if !new_sigs.contains(&sig) {
-            report
-                .unmatched
-                .push(format!("table gone: {} ({})", t.title, sig));
+            let note = format!("table gone: {} ({})", t.title, sig);
+            if t.rows.is_empty() {
+                report.unmatched.push(note);
+            } else {
+                report.coverage_failures.push(note);
+            }
         }
     }
     for new_table in &new.tables {
@@ -369,6 +377,7 @@ pub fn compare(old: &BenchDoc, new: &BenchDoc, threshold: f64) -> CompareReport 
             old_rows.insert(row_key(&old_table.header, r), r);
         }
         let mut seen: Vec<String> = Vec::new();
+        let mut matched_rows = 0usize;
         for r in &new_table.rows {
             let key = row_key(&new_table.header, r);
             seen.push(key.clone());
@@ -376,6 +385,7 @@ pub fn compare(old: &BenchDoc, new: &BenchDoc, threshold: f64) -> CompareReport 
                 report.unmatched.push(format!("row new: [{key}] in {sig}"));
                 continue;
             };
+            matched_rows += 1;
             for (c, h) in new_table.header.iter().enumerate() {
                 let Some(direction) = metric_direction(h) else {
                     continue;
@@ -409,6 +419,12 @@ pub fn compare(old: &BenchDoc, new: &BenchDoc, threshold: f64) -> CompareReport 
             if !seen.contains(key) {
                 report.unmatched.push(format!("row gone: [{key}] in {sig}"));
             }
+        }
+        if matched_rows == 0 && !old_table.rows.is_empty() {
+            report.coverage_failures.push(format!(
+                "no baseline row matched: {} ({sig})",
+                old_table.title
+            ));
         }
     }
     report
@@ -458,14 +474,64 @@ mod tests {
         assert!(gain.passed());
     }
 
+    /// The warn-vs-fail boundary: losing *some* rows warns, losing
+    /// *every* row of a populated baseline table fails.
     #[test]
-    fn unmatched_rows_warn_not_fail() {
+    fn partially_unmatched_rows_warn_not_fail() {
+        let old = doc("10.0", "50.0");
+        let mut t = Table::new("BENCH PRy: demo", &["workload", "wall-ms", "thru/kt"]);
+        t.row(vec!["banking".into(), "10.0".into(), "50.0".into()]);
+        t.row(vec!["cad".into(), "99.0".into(), "1.0".into()]);
+        let new = parse_doc(&format!("[{}]", t.to_json())).unwrap();
+        let report = compare(&old, &new, 0.10);
+        assert!(report.passed(), "{:?}", report.coverage_failures);
+        assert_eq!(report.compared, 2);
+        assert_eq!(report.unmatched.len(), 1, "{:?}", report.unmatched);
+    }
+
+    #[test]
+    fn fully_unmatched_rows_fail_the_gate() {
         let old = doc("10.0", "50.0");
         let mut t = Table::new("BENCH PRy: demo", &["workload", "wall-ms", "thru/kt"]);
         t.row(vec!["cad".into(), "99.0".into(), "1.0".into()]);
         let new = parse_doc(&format!("[{}]", t.to_json())).unwrap();
         let report = compare(&old, &new, 0.10);
-        assert!(report.passed());
+        assert!(!report.passed(), "renamed rows slipped past the gate");
+        assert_eq!(report.coverage_failures.len(), 1);
+        assert!(
+            report.coverage_failures[0].contains("no baseline row matched"),
+            "{:?}",
+            report.coverage_failures
+        );
+        // The per-row notes are still reported alongside the failure.
+        assert_eq!(report.unmatched.len(), 2, "{:?}", report.unmatched);
+    }
+
+    #[test]
+    fn renamed_table_fails_the_gate() {
+        let old = doc("10.0", "50.0");
+        let mut t = Table::new("BENCH PRy: demo", &["scenario", "wall-ms", "thru/kt"]);
+        t.row(vec!["banking".into(), "10.0".into(), "50.0".into()]);
+        let new = parse_doc(&format!("[{}]", t.to_json())).unwrap();
+        let report = compare(&old, &new, 0.10);
+        assert!(!report.passed(), "renamed table slipped past the gate");
+        assert_eq!(report.compared, 0);
+        assert_eq!(report.coverage_failures.len(), 1);
+        assert!(
+            report.coverage_failures[0].starts_with("table gone:"),
+            "{:?}",
+            report.coverage_failures
+        );
+        // The new-side table is only a note: a PR may add tables.
+        assert_eq!(report.unmatched.len(), 1, "{:?}", report.unmatched);
+    }
+
+    #[test]
+    fn empty_or_added_tables_warn_not_fail() {
+        let empty = Table::new("BENCH PRx: placeholder", &["workload", "wall-ms"]);
+        let old = parse_doc(&format!("[{}]", empty.to_json())).unwrap();
+        let report = compare(&old, &doc("10.0", "50.0"), 0.10);
+        assert!(report.passed(), "{:?}", report.coverage_failures);
         assert_eq!(report.unmatched.len(), 2, "{:?}", report.unmatched);
     }
 

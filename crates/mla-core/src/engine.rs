@@ -127,6 +127,27 @@ impl std::iter::Sum for EngineCounters {
     }
 }
 
+/// A stable-identity snapshot of the maintained relation: for each live
+/// step `(txn, seq)`, the frontier entries `(other_txn, frontier_seq)`
+/// over columns that still have live rows, everything sorted. Two
+/// engines hold the same relation iff their signatures are equal —
+/// regardless of arena row order or column creation order, which differ
+/// legitimately between schedules that perform the same steps.
+pub type RelationSignature = Vec<((u32, u32), Vec<(u32, i64)>)>;
+
+/// Outcome of a two-step commutativity probe
+/// ([`ClosureEngine::probe_pair`]). The probe is fully rolled back
+/// before this is returned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PairProbe {
+    /// Whether the first step was granted.
+    pub first_ok: bool,
+    /// Whether the second step was granted (after the first).
+    pub second_ok: bool,
+    /// The relation signature after both steps, when both were granted.
+    pub signature: Option<RelationSignature>,
+}
+
 /// A concrete closure cycle reported by [`ClosureEngine::apply_step`],
 /// already translated from arena rows to stable step identities (the
 /// tentative row is rolled back before this is returned).
@@ -630,6 +651,122 @@ impl<S: BreakpointSpecification> ClosureEngine<S> {
             .map(|v| self.steps[v])
             .collect();
         Execution::new(live).expect("engine arena holds per-txn ordered steps")
+    }
+
+    /// The maintained relation as a [`RelationSignature`] — stable step
+    /// identities, no arena or column order. Reflects the current state
+    /// including a pending tentative step; after removals, call
+    /// [`flush_rebuild`](Self::flush_rebuild) first (stale dead-column
+    /// contributions are otherwise still folded in).
+    pub fn relation_signature(&self) -> RelationSignature {
+        debug_assert!(
+            !self.needs_rebuild,
+            "flush_rebuild before taking a relation signature"
+        );
+        let live_col: Vec<bool> = self
+            .txn_steps
+            .iter()
+            .map(|rows| rows.iter().any(|&r| !self.dead[r]))
+            .collect();
+        let mut sig: RelationSignature = Vec::with_capacity(self.live_count());
+        for v in 0..self.steps.len() {
+            if self.dead[v] {
+                continue;
+            }
+            let mut row: Vec<(u32, i64)> = Vec::new();
+            for (t, &f) in self.m[v].iter().enumerate() {
+                if f != NONE && live_col[t] {
+                    row.push((self.txns[t].0, f));
+                }
+            }
+            row.sort_unstable();
+            sig.push((
+                (self.txns[self.step_txn[v]].0, self.step_seq[v] as u32),
+                row,
+            ));
+        }
+        sig.sort_unstable();
+        sig
+    }
+
+    /// Applies `a` then `b` tentatively (two steps of *different*
+    /// transactions, each its transaction's next step), captures the
+    /// relation signature when both are granted, and rolls the whole
+    /// attempt back — the engine returns exactly to its prior state
+    /// (work counters excepted). This is the DPOR commutativity probe:
+    /// `a` and `b` commute in the current state iff `probe_pair(a, b)`
+    /// and `probe_pair(b, a)` both grant fully and produce equal
+    /// signatures (see [`steps_commute`](Self::steps_commute)).
+    pub fn probe_pair(&mut self, a: Step, b: Step) -> PairProbe {
+        assert!(!self.tentative, "previous tentative step not resolved");
+        assert_ne!(a.txn, b.txn, "probe steps must belong to different txns");
+        if self.needs_rebuild {
+            self.rebuild();
+        }
+        self.tentative = true;
+        let (first_ok, second_ok, signature) = match self.apply_inner(a) {
+            Ok(()) => match self.apply_inner(b) {
+                Ok(()) => (true, true, Some(self.relation_signature())),
+                Err(_) => (true, false, None),
+            },
+            Err(_) => (false, false, None),
+        };
+        // The journal holds both steps' ops; one reverse replay undoes
+        // the pair.
+        self.rollback_step();
+        PairProbe {
+            first_ok,
+            second_ok,
+            signature,
+        }
+    }
+
+    /// Whether `a` and `b` (next steps of two different transactions)
+    /// commute in the current state: both orders fully granted with
+    /// identical resulting relations. Any denial in either order makes
+    /// the pair dependent — conservative, since a verdict that differs
+    /// by order is itself an observable difference.
+    pub fn steps_commute(&mut self, a: Step, b: Step) -> bool {
+        let ab = self.probe_pair(a, b);
+        if ab.signature.is_none() {
+            return false;
+        }
+        let ba = self.probe_pair(b, a);
+        ab.signature == ba.signature
+    }
+
+    /// A deep copy of the committed state — the DFS backtracking hook
+    /// for exhaustive schedule exploration (`mla-explore`). Panics if a
+    /// tentative step is pending.
+    pub fn snapshot(&self) -> Self
+    where
+        S: Clone,
+    {
+        assert!(!self.tentative, "resolve the pending step before snapshot");
+        debug_assert!(self.journal.is_empty() && self.queue.is_empty());
+        ClosureEngine {
+            nest: self.nest.clone(),
+            spec: self.spec.clone(),
+            txns: self.txns.clone(),
+            local: self.local.clone(),
+            steps: self.steps.clone(),
+            step_txn: self.step_txn.clone(),
+            step_seq: self.step_seq.clone(),
+            txn_steps: self.txn_steps.clone(),
+            bds: self.bds.clone(),
+            m: self.m.clone(),
+            dependents: self.dependents.clone(),
+            topo: self.topo.clone(),
+            entity_rows: self.entity_rows.clone(),
+            dead: self.dead.clone(),
+            dead_count: self.dead_count,
+            needs_rebuild: self.needs_rebuild,
+            tentative: false,
+            journal: Vec::new(),
+            queue: VecDeque::new(),
+            in_queue: vec![false; self.in_queue.len()],
+            counters: self.counters,
+        }
     }
 
     // ---- internals ------------------------------------------------------
@@ -1149,6 +1286,97 @@ mod tests {
         engine.apply_step(step(2, 0, 2)).unwrap();
         engine.commit_step();
         assert_eq!(engine.txn_count(), 3);
+    }
+
+    #[test]
+    fn probe_pair_rolls_back_exactly_and_detects_commutation() {
+        let nest = Nest::flat(3);
+        let mut engine = ClosureEngine::new(nest, AtomicSpec { k: 2 });
+        for st in [step(0, 0, 1), step(1, 0, 2)] {
+            engine.apply_step(st).unwrap();
+            engine.commit_step();
+        }
+        let m_before = engine.m.clone();
+        let edges_before = engine.topo.edge_count();
+        let sig_before = engine.relation_signature();
+        // Disjoint entities: both orders grant with the same relation.
+        assert!(engine.steps_commute(step(0, 1, 3), step(1, 1, 4)));
+        // Shared entity: both orders grant but the relations differ
+        // (the base edge flips), so the pair is dependent.
+        assert!(!engine.steps_commute(step(0, 1, 5), step(1, 1, 5)));
+        // Either way the probes left no trace.
+        assert_eq!(engine.m, m_before);
+        assert_eq!(engine.topo.edge_count(), edges_before);
+        assert_eq!(engine.relation_signature(), sig_before);
+        assert!(!engine.pending());
+    }
+
+    #[test]
+    fn probe_pair_reports_denials_without_applying() {
+        // Atomic t0 and t1 crossed on two entities: after the prefix,
+        // t0's next step is denied outright in one order.
+        let nest = Nest::flat(2);
+        let mut engine = ClosureEngine::new(nest, AtomicSpec { k: 2 });
+        for st in [step(0, 0, 7), step(1, 0, 7), step(1, 1, 8)] {
+            engine.apply_step(st).unwrap();
+            engine.commit_step();
+        }
+        let live_before = engine.live_count();
+        let probe = engine.probe_pair(step(0, 1, 8), step(2, 0, 9));
+        assert!(!probe.first_ok);
+        assert!(!probe.second_ok);
+        assert_eq!(probe.signature, None);
+        // Second-position denial: the fresh step grants, then the weave
+        // closes the cycle.
+        let probe = engine.probe_pair(step(2, 0, 9), step(0, 1, 8));
+        assert!(probe.first_ok);
+        assert!(!probe.second_ok);
+        assert_eq!(engine.live_count(), live_before);
+        assert!(!engine.pending());
+        // A denial in either order means dependence.
+        assert!(!engine.steps_commute(step(0, 1, 8), step(2, 0, 9)));
+    }
+
+    #[test]
+    fn snapshot_is_a_deep_independent_copy() {
+        let nest = Nest::flat(3);
+        let mut engine = ClosureEngine::new(nest, AtomicSpec { k: 2 });
+        for st in [step(0, 0, 1), step(1, 0, 1)] {
+            engine.apply_step(st).unwrap();
+            engine.commit_step();
+        }
+        let mut copy = engine.snapshot();
+        assert_eq!(copy.relation_signature(), engine.relation_signature());
+        // Diverge the copy; the original must not move.
+        copy.apply_step(step(0, 1, 2)).unwrap();
+        copy.commit_step();
+        assert_eq!(copy.live_count(), 3);
+        assert_eq!(engine.live_count(), 2);
+        assert_ne!(copy.relation_signature(), engine.relation_signature());
+        // And the original still decides independently.
+        engine.apply_step(step(1, 1, 2)).unwrap();
+        engine.commit_step();
+        assert_eq!(engine.live_count(), 3);
+    }
+
+    #[test]
+    fn signature_is_arena_order_independent() {
+        // The same step set reached through different schedules (and
+        // hence different column creation orders) must sign identically
+        // when the closure relations coincide: two disjoint txns.
+        let nest = Nest::flat(3);
+        let spec = AtomicSpec { k: 2 };
+        let mut e1 = ClosureEngine::new(nest.clone(), spec);
+        for st in [step(0, 0, 1), step(0, 1, 1), step(1, 0, 2), step(1, 1, 2)] {
+            e1.apply_step(st).unwrap();
+            e1.commit_step();
+        }
+        let mut e2 = ClosureEngine::new(nest, spec);
+        for st in [step(1, 0, 2), step(1, 1, 2), step(0, 0, 1), step(0, 1, 1)] {
+            e2.apply_step(st).unwrap();
+            e2.commit_step();
+        }
+        assert_eq!(e1.relation_signature(), e2.relation_signature());
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub use atomicity::{check_multilevel_atomic, is_multilevel_atomic, MlaCriterion}
 pub use breakpoints::BreakpointDescription;
 pub use cert::StaticCert;
 pub use closure::CoherentClosure;
-pub use engine::{ClosureEngine, CycleWitness, EngineCounters};
+pub use engine::{ClosureEngine, CycleWitness, EngineCounters, PairProbe, RelationSignature};
 pub use extend::{extend_to_total_order, witness_execution};
 pub use nest::{Nest, NestBuilder};
 pub use parallel::{ParallelShardedEngine, ParallelStats};

@@ -15,6 +15,9 @@
 //! * [`partitioned`] — independent entity universes with long-lived
 //!   scanners pinning each universe's live window: the A5 stress case
 //!   for the entity-sharded closure engine.
+//! * [`mixed`] — one 4-nest whose universes each carry a *different*
+//!   k-level of interleaving freedom (atomic / subgroup-only / whole
+//!   universe): the MLA analogue of mixed isolation levels.
 //!
 //! Every generator produces a [`Workload`]: nest + programs + runtime
 //! breakpoints + initial values + arrival times, from which fresh
@@ -27,6 +30,7 @@
 pub mod banking;
 pub mod banking_escrow;
 pub mod cad;
+pub mod mixed;
 pub mod partitioned;
 pub mod synthetic;
 pub mod util;

@@ -32,6 +32,10 @@
 //! * [`check`] — the black-box history checker: text history format,
 //!   coherent-closure saturation per communication cluster, and the
 //!   constrained-linearization fallback for value-only dependency info.
+//! * [`explore`] — exhaustive schedule exploration for bounded nests:
+//!   sleep-set DPOR using the closure-commutativity probe as the
+//!   independence relation, brute-force trace census, and planted
+//!   interleaving-dependent mutants for harness-sensitivity tests.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +61,7 @@
 pub use mla_cc as cc;
 pub use mla_check as check;
 pub use mla_core as core;
+pub use mla_explore as explore;
 pub use mla_graph as graph;
 pub use mla_lint as lint;
 pub use mla_model as model;

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use multilevel_atomicity::cc::{MlaDetect, VictimPolicy};
 use multilevel_atomicity::core::nest::Nest;
 use multilevel_atomicity::core::{EngineBackend, EngineCounters};
+use multilevel_atomicity::explore::{explore, BoundedNest};
 use multilevel_atomicity::model::{EntityId, Step, TxnId};
 use multilevel_atomicity::sim::{run, SimConfig};
 use multilevel_atomicity::txn::{NoBreakpoints, PhaseTable, RuntimeBreakpoints, RuntimeSpec};
@@ -76,51 +77,72 @@ fn conflicted_setup(seed: u64) -> (Nest, RuntimeSpec, Vec<Step>) {
     (nest, spec, schedule)
 }
 
+/// The parallel shapes under test: the original 4×4, the
+/// more-shards-than-workers 8×3 multiplexed shape, and the 1-worker
+/// degenerate case (every shard group serialized onto one worker, so
+/// the sequencer and barriers still run but never overlap).
+const SHAPES: [(usize, usize); 3] = [(4, 4), (8, 3), (4, 1)];
+
 #[test]
 fn parallel_batch_verdicts_are_reproducible() {
     let (nest, spec, schedule) = conflicted_setup(0xD57);
 
-    let mut reference: Option<BatchSignature> = None;
-    let mut denials = 0;
-    for run_no in 0..RUNS {
-        let mut backend = EngineBackend::parallel(nest.clone(), spec.clone(), 4, 4);
-        let verdicts: Vec<bool> = backend
+    for (shards, workers) in SHAPES {
+        let mut reference: Option<BatchSignature> = None;
+        let mut denials = 0;
+        for run_no in 0..RUNS {
+            let mut backend = EngineBackend::parallel(nest.clone(), spec.clone(), shards, workers);
+            let verdicts: Vec<bool> = backend
+                .decide_batch(&schedule)
+                .into_iter()
+                .map(|v| v.is_ok())
+                .collect();
+            denials = verdicts.iter().filter(|ok| !**ok).count();
+            let history = backend.execution().steps().to_vec();
+            let counters = backend.shard_counters();
+            let merges = backend.merge_count();
+            let stats = backend.parallel_stats().expect("parallel backend");
+            assert_eq!(stats.workers, workers);
+            assert_eq!(stats.barrier_stalls, merges);
+            match &reference {
+                None => reference = Some((verdicts, history, counters, merges)),
+                Some((v0, h0, c0, m0)) => {
+                    assert_eq!(
+                        &verdicts, v0,
+                        "verdicts diverged on run {run_no} ({shards}x{workers})"
+                    );
+                    assert_eq!(
+                        &history, h0,
+                        "history diverged on run {run_no} ({shards}x{workers})"
+                    );
+                    assert_eq!(
+                        &counters, c0,
+                        "counters diverged on run {run_no} ({shards}x{workers})"
+                    );
+                    assert_eq!(
+                        &merges, m0,
+                        "merges diverged on run {run_no} ({shards}x{workers})"
+                    );
+                }
+            }
+        }
+        // The schedule must actually exercise the poison path, and the
+        // verdicts must match the serial reference implementation at
+        // the same shard count.
+        assert!(denials > 0, "the shuffled schedule must provoke denials");
+        let (v0, h0, _, _) = reference.unwrap();
+        let mut serial = EngineBackend::sharded(nest.clone(), spec.clone(), shards);
+        let serial_verdicts: Vec<bool> = serial
             .decide_batch(&schedule)
             .into_iter()
             .map(|v| v.is_ok())
             .collect();
-        denials = verdicts.iter().filter(|ok| !**ok).count();
-        let history = backend.execution().steps().to_vec();
-        let counters = backend.shard_counters();
-        let merges = backend.merge_count();
-        let stats = backend.parallel_stats().expect("parallel backend");
-        assert_eq!(stats.workers, 4);
-        assert_eq!(stats.barrier_stalls, merges);
-        match &reference {
-            None => reference = Some((verdicts, history, counters, merges)),
-            Some((v0, h0, c0, m0)) => {
-                assert_eq!(&verdicts, v0, "verdicts diverged on run {run_no}");
-                assert_eq!(&history, h0, "history diverged on run {run_no}");
-                assert_eq!(&counters, c0, "counters diverged on run {run_no}");
-                assert_eq!(&merges, m0, "merges diverged on run {run_no}");
-            }
-        }
+        assert_eq!(
+            serial_verdicts, v0,
+            "parallel verdicts diverged from serial ({shards}x{workers})"
+        );
+        assert_eq!(serial.execution().steps(), h0.as_slice());
     }
-    // The schedule must actually exercise the poison path, and the
-    // verdicts must match the serial reference implementation.
-    assert!(denials > 0, "the shuffled schedule must provoke denials");
-    let (v0, h0, _, _) = reference.unwrap();
-    let mut serial = EngineBackend::sharded(nest, spec, 4);
-    let serial_verdicts: Vec<bool> = serial
-        .decide_batch(&schedule)
-        .into_iter()
-        .map(|v| v.is_ok())
-        .collect();
-    assert_eq!(
-        serial_verdicts, v0,
-        "parallel verdicts diverged from serial"
-    );
-    assert_eq!(serial.execution().steps(), h0.as_slice());
 }
 
 #[test]
@@ -135,38 +157,113 @@ fn parallel_simulation_is_reproducible() {
     let wl = &generated.workload;
     let sim_config = SimConfig::seeded(77);
 
-    let mut reference = None;
-    for run_no in 0..RUNS {
-        let mut control = MlaDetect::new(wl.spec(), VictimPolicy::FewestSteps)
-            .with_shards(4)
-            .with_parallelism(2);
-        let out = run(
-            wl.nest.clone(),
-            wl.instances(),
-            wl.initial.iter().copied(),
-            &wl.arrivals,
-            &sim_config,
-            &mut control,
-        );
-        let m = &out.metrics;
-        let stats = m.parallel.as_ref().expect("parallel stats recorded");
-        assert_eq!(stats.workers, 2);
-        // Everything observable must repeat; occupancy/barrier-wait
-        // nanos (wall-clock) are the only fields exempt.
-        let signature = (
-            out.execution.steps().to_vec(),
-            m.committed,
-            m.aborts,
-            m.defers,
-            m.steps_performed,
-            m.makespan,
-            m.decision_cost,
-            m.shard_cost.clone(),
-            stats.barrier_stalls,
-        );
-        match &reference {
-            None => reference = Some(signature),
-            Some(r) => assert_eq!(&signature, r, "simulation diverged on run {run_no}"),
+    for (shards, workers) in [(4, 2), (8, 3), (4, 1)] {
+        let mut reference = None;
+        for run_no in 0..RUNS {
+            let mut control = MlaDetect::new(wl.spec(), VictimPolicy::FewestSteps)
+                .with_shards(shards)
+                .with_parallelism(workers);
+            let out = run(
+                wl.nest.clone(),
+                wl.instances(),
+                wl.initial.iter().copied(),
+                &wl.arrivals,
+                &sim_config,
+                &mut control,
+            );
+            let m = &out.metrics;
+            let stats = m.parallel.as_ref().expect("parallel stats recorded");
+            assert_eq!(stats.workers, workers);
+            // Everything observable must repeat; occupancy/barrier-wait
+            // nanos (wall-clock) are the only fields exempt.
+            let signature = (
+                out.execution.steps().to_vec(),
+                m.committed,
+                m.aborts,
+                m.defers,
+                m.steps_performed,
+                m.makespan,
+                m.decision_cost,
+                m.shard_cost.clone(),
+                stats.barrier_stalls,
+            );
+            match &reference {
+                None => reference = Some(signature),
+                Some(r) => assert_eq!(
+                    &signature, r,
+                    "simulation diverged on run {run_no} ({shards}x{workers})"
+                ),
+            }
         }
     }
+}
+
+/// The sequencer/barrier stressor: instead of *sampling* commit orders,
+/// enumerate them. Every Mazurkiewicz-trace representative of an
+/// all-grant bounded nest (two contended pairs in separate k=3 classes,
+/// level-2 breakpoints throughout, entities across shard residues) is
+/// fed as one `decide_batch` to every parallel shape — including the
+/// 8×3 multiplexed and 1-worker degenerate ones — and to the serial
+/// sharded and unsharded references. Verdicts and histories must agree
+/// with exploration everywhere, so every worker-commit ordering the
+/// sequencer can be asked to realize has been realized.
+#[test]
+fn batch_sequencer_agrees_on_every_commit_ordering() {
+    let k = 3;
+    let nest =
+        Nest::new(k, vec![vec![0], vec![0], vec![1], vec![1]]).expect("paths have depth k-2");
+    let mut spec = RuntimeSpec::new(k);
+    for t in 0..4u32 {
+        let bp: Arc<dyn RuntimeBreakpoints> = Arc::new(PhaseTable::new(k, [(1, 2)]));
+        spec.insert(TxnId(t), bp);
+    }
+    let input = BoundedNest {
+        nest: nest.clone(),
+        spec: spec.clone(),
+        scripts: vec![
+            vec![EntityId(0), EntityId(4)],
+            vec![EntityId(4), EntityId(0)],
+            vec![EntityId(1), EntityId(5)],
+            vec![EntityId(5), EntityId(1)],
+        ],
+    };
+
+    let mut representatives = 0usize;
+    let stats = explore(&input, |schedule| {
+        assert!(
+            schedule.all_granted(),
+            "free weaving must grant every offer (the stressor relies on it: \
+             exploration aborts deniers, decide_batch poisons them)"
+        );
+        representatives += 1;
+        let mut reference: Option<Vec<Step>> = None;
+        let shapes: [(usize, usize); 5] = [(0, 0), (4, 0), (4, 4), (8, 3), (4, 1)];
+        for (shards, workers) in shapes {
+            let mut backend = match (shards, workers) {
+                (0, _) => EngineBackend::unsharded(nest.clone(), spec.clone()),
+                (s, 0) => EngineBackend::sharded(nest.clone(), spec.clone(), s),
+                (s, w) => EngineBackend::parallel(nest.clone(), spec.clone(), s, w),
+            };
+            let verdicts = backend.decide_batch(&schedule.offers);
+            assert!(
+                verdicts.iter().all(|v| v.is_ok()),
+                "shape {shards}x{workers} denied an offer exploration granted"
+            );
+            let history = backend.execution().steps().to_vec();
+            assert_eq!(
+                history.as_slice(),
+                schedule.exec.steps(),
+                "shape {shards}x{workers} history diverged from exploration"
+            );
+            match &reference {
+                None => reference = Some(history),
+                Some(h0) => assert_eq!(&history, h0, "shape {shards}x{workers} diverged"),
+            }
+        }
+    });
+    assert_eq!(representatives as u64, stats.explored);
+    // Each pair's two conflict pairs admit three consistent
+    // orientations (both forward, both reversed, or the fully
+    // interleaved middle class), independently per class: 3² traces.
+    assert_eq!(stats.explored, 9);
 }
