@@ -1,0 +1,7 @@
+//! Harness binary for ablation A8 (see DESIGN.md / EXPERIMENTS.md).
+//! Pass `--quick` for the reduced sweep.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", mla_bench::experiments::a8::run(quick).render());
+}

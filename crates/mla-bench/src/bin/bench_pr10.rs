@@ -1,0 +1,25 @@
+//! Fixed-seed PR10 bench runner: the same replay + serve sweep as
+//! `bench_pr7`, stamped with the PR10 label so `bench_compare` can diff
+//! the two committed artifacts, plus the A8 partial-lattice table (new
+//! in this artifact; `bench_compare` matches tables by header, so the
+//! extra table is reported as new coverage, never a regression). Writes
+//! `BENCH_PR10.json` by default (override with `--json <path>`); pass
+//! `--quick` for the reduced sweep.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
+    let mut tables = mla_bench::perf::run_labeled(quick, "PR10");
+    tables.push(mla_bench::experiments::a8::run(quick));
+    for table in &tables {
+        println!("{}", table.render());
+    }
+    let body: Vec<String> = tables.iter().map(|t| t.to_json()).collect();
+    std::fs::write(&json_path, format!("[{}]", body.join(","))).expect("write json results");
+    eprintln!("wrote {json_path}");
+}

@@ -1,0 +1,205 @@
+//! A8 — the per-universe certification lattice on mixed-degree
+//! workloads.
+//!
+//! A7 measured the certified fast path where it was born: a workload
+//! whose *every* universe certifies. The `mixed` family is the opposite
+//! regime and the lattice's reason to exist — one universe per
+//! isolation degree, so the old all-or-nothing pass returned no
+//! certificate at all and `certified_skips` was pinned at zero. The
+//! per-universe lattice certifies the Free universe while condemning
+//! Atomic and Classmates, and A8 measures what that partial certificate
+//! buys.
+//!
+//! Each scheduler pair runs the same mixed workload with and without
+//! the partial lattice. `mla-detect/cert` must reproduce the
+//! uncertified history byte for byte while earning skips in *exactly*
+//! the certified universes (condemned universes must report zero); the
+//! `skip-rate` column is fast-path grants per performed step.
+//! `mla-prevent/cert` is sound (every run is re-checked against
+//! Theorem 2 by the cell runner) but not necessarily history-identical:
+//! certified grants waive breakpoint waits the uncertified preventer
+//! would serve, so `same-history` is *reported*, not asserted.
+//!
+//! The trailing `banking` row is the negative control carried over from
+//! A7: all of banking's universes sit on mixed cycles, the lattice
+//! condemns every one of them, and no certificate is issued — the
+//! lattice refuses exactly where the global pass refused.
+
+use mla_cc::VictimPolicy;
+use mla_workload::banking::{generate as generate_banking, BankingConfig};
+use mla_workload::mixed::{generate, MixedConfig};
+
+use crate::runner::{run_cell, ControlKind};
+use crate::table::{f2, Table};
+
+/// Runs A8.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "A8: partial-lattice fast path on the mixed workload",
+        &[
+            "row",
+            "lattice",
+            "wall-ms",
+            "speedup",
+            "cert-skips",
+            "skip-rate",
+            "re-arms",
+            "same-history",
+        ],
+    );
+    let config = if quick {
+        MixedConfig {
+            universes: 3,
+            txns_per_universe: 4,
+            arrival_spacing: 2,
+        }
+    } else {
+        MixedConfig {
+            universes: 3,
+            txns_per_universe: 24,
+            arrival_spacing: 2,
+        }
+    };
+    let wl = generate(config).workload;
+    let cert = mla_lint::certify_workload(&wl)
+        .cert
+        .expect("the mixed workload must partially certify");
+    assert!(
+        !cert.fully_certified(),
+        "mixed must keep its condemned universes — A8 measures the partial regime"
+    );
+    let lattice = format!(
+        "{}/{}",
+        cert.certified_universes().len(),
+        cert.universe_count()
+    );
+
+    let policy = VictimPolicy::FewestSteps;
+    let seed = 0xA8;
+    let detect = run_cell(&wl, ControlKind::MlaDetect(policy), seed);
+    let detect_cert = run_cell(&wl, ControlKind::MlaDetectCertified(policy), seed);
+    assert_eq!(
+        detect_cert.outcome.execution, detect.outcome.execution,
+        "partially certified detection must replicate the uncertified history"
+    );
+    let cm = &detect_cert.outcome.metrics;
+    assert_eq!(cm.committed, detect.outcome.metrics.committed);
+    assert!(cm.certified_skips > 0, "the partial fast path never fired");
+    let per = &cm.certified_skips_per_universe;
+    assert_eq!(per.iter().sum::<u64>(), cm.certified_skips);
+    for u in 0..cert.universe_count() as u32 {
+        if cert.is_certified(u) {
+            assert!(
+                per[u as usize] > 0,
+                "certified universe {u} earned no skips"
+            );
+        } else {
+            assert_eq!(per[u as usize], 0, "condemned universe {u} skipped");
+        }
+    }
+
+    let prevent = run_cell(&wl, ControlKind::MlaPrevent(policy), seed);
+    let prevent_cert = run_cell(&wl, ControlKind::MlaPreventCertified(policy), seed);
+    let qm = &prevent_cert.outcome.metrics;
+    assert_eq!(qm.committed, prevent.outcome.metrics.committed);
+    assert!(qm.certified_skips > 0);
+    let prevent_same = prevent_cert.outcome.execution == prevent.outcome.execution;
+
+    for (label, cell, base, same) in [
+        ("sim/detect", &detect, None, "-".to_string()),
+        (
+            "sim/detect+cert",
+            &detect_cert,
+            Some(&detect),
+            "yes".to_string(),
+        ),
+        ("sim/prevent", &prevent, None, "-".to_string()),
+        (
+            "sim/prevent+cert",
+            &prevent_cert,
+            Some(&prevent),
+            if prevent_same { "yes" } else { "no" }.to_string(),
+        ),
+    ] {
+        let m = &cell.outcome.metrics;
+        let speedup = match base {
+            Some(b) if cell.wall_seconds > 0.0 => f2(b.wall_seconds / cell.wall_seconds),
+            _ => "-".to_string(),
+        };
+        let rate = if m.steps_performed > 0 {
+            f2(m.certified_skips as f64 / m.steps_performed as f64)
+        } else {
+            "-".to_string()
+        };
+        table.row(vec![
+            label.to_string(),
+            if base.is_some() {
+                lattice.clone()
+            } else {
+                "-".to_string()
+            },
+            f2(cell.wall_seconds * 1e3),
+            speedup,
+            m.certified_skips.to_string(),
+            rate,
+            m.cert_re_arms.to_string(),
+            same,
+        ]);
+    }
+
+    // Negative control: every banking universe is condemned, so the
+    // lattice collapses to the old global denial.
+    let banking = generate_banking(if quick {
+        BankingConfig {
+            transfers: 8,
+            ..BankingConfig::default()
+        }
+    } else {
+        BankingConfig::default()
+    });
+    let denial = mla_lint::certify_workload(&banking.workload);
+    assert!(denial.cert.is_none(), "banking must stay uncertifiable");
+    let denied_lattice = denial
+        .lattice
+        .expect("banking programs have known footprints");
+    assert!(!denied_lattice.any_certified());
+    table.row(vec![
+        "banking".to_string(),
+        format!("0/{}", denied_lattice.universe_count()),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a8_partial_lattice_skips_only_certified_universes() {
+        let t = run(true);
+        // 4 simulator rows + the banking denial.
+        assert_eq!(t.len(), 5);
+        // The mixed lattice is partial: some but not all universes.
+        assert_eq!(
+            t.cell(1, 1),
+            "1/3",
+            "degree cycle gives exactly one Free universe"
+        );
+        // Certified detection: history-identical with nonzero skips.
+        assert_eq!(t.cell(1, 7), "yes");
+        assert_ne!(t.cell(1, 4), "0");
+        // The uncertified baselines never skip.
+        assert_eq!(t.cell(0, 4), "0");
+        assert_eq!(t.cell(2, 4), "0");
+        // Certified prevention fires too.
+        assert_ne!(t.cell(3, 4), "0");
+        // The negative control condemns every universe.
+        assert!(t.cell(4, 1).starts_with("0/"));
+    }
+}

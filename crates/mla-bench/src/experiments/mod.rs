@@ -7,6 +7,7 @@ pub mod a4;
 pub mod a5;
 pub mod a6;
 pub mod a7;
+pub mod a8;
 pub mod e1;
 pub mod e10;
 pub mod e11;
@@ -87,6 +88,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         a5::run(quick),
         a6::run(quick),
         a7::run(quick),
+        a8::run(quick),
         a2::run(quick),
         a3::run(quick),
     ]

@@ -14,7 +14,8 @@
 //! Wall-clock columns move with the host; the committed/aborts/defers
 //! columns are deterministic (seeded simulation, certified fast-path
 //! drain) and are the regression tripwires. Each wall measurement is
-//! best-of-N (minimum over [`REPEATS`] runs) so the committed artifact
+//! best-of-N (minimum over [`REPEATS`] replay runs, per-metric floor
+//! over [`SERVE_DRAINS`] live drains) so the committed artifact
 //! reflects the code, not scheduler jitter — `bench_compare` diffs
 //! these artifacts at a 10% threshold, which single-shot millisecond
 //! timings would trip spuriously.
@@ -32,7 +33,11 @@ use crate::table::{f2, Table};
 pub const SEED: u64 = 0x6B;
 
 /// Wall-clock repeats per cell; the reported time is the minimum.
-pub const REPEATS: usize = 5;
+pub const REPEATS: usize = 9;
+
+/// Full live-service drains per bench; each wall/latency column
+/// reports its floor across them.
+pub const SERVE_DRAINS: usize = 7;
 
 fn replay_row(table: &mut Table, row: &str, wl: &mla_workload::Workload, kind: ControlKind) {
     let key = |m: &mla_sim::Metrics| (m.committed, m.aborts, m.defers, m.makespan);
@@ -152,35 +157,43 @@ pub fn serve_table(quick: bool, pr: &str) -> Table {
         deadline: Duration::from_secs(300),
         ..Default::default()
     };
-    // Live threads are noisier than seeded replay: take the fastest
-    // drain of three and report that run's latencies with it.
-    let mut report = serve_run(&load, &config);
-    for _ in 1..3 {
-        let again = serve_run(&load, &config);
-        if again.wall < report.wall {
-            report = again;
-        }
+    // Live threads are noisier than seeded replay, and the latency
+    // tails are noisier still: a single drain's p99 moves by tens of
+    // percent run to run on a small host. Record the per-metric floor
+    // over [`SERVE_DRAINS`] full drains (each drain's counters are
+    // still asserted individually), so the committed artifact reflects
+    // the code's achievable envelope rather than one run's scheduler
+    // luck.
+    let mut reports = Vec::with_capacity(SERVE_DRAINS);
+    for _ in 0..SERVE_DRAINS {
+        let report = serve_run(&load, &config);
+        assert!(
+            report.clean,
+            "bench drain must complete before the deadline"
+        );
+        assert_eq!(report.snapshot_violations, 0, "snapshot probes must hold");
+        assert_eq!(
+            report.committed,
+            (sessions * per_session) as u64,
+            "every submitted transaction must commit"
+        );
+        reports.push(report);
     }
-    assert!(
-        report.clean,
-        "bench drain must complete before the deadline"
-    );
-    assert_eq!(report.snapshot_violations, 0, "snapshot probes must hold");
-    assert_eq!(
-        report.committed,
-        (sessions * per_session) as u64,
-        "every submitted transaction must commit"
-    );
+    let wall = reports.iter().map(|r| r.wall).min().unwrap();
+    let throughput = reports.iter().map(|r| r.throughput).fold(0.0, f64::max);
+    let p50 = reports.iter().map(|r| r.p50_us).min().unwrap();
+    let p95 = reports.iter().map(|r| r.p95_us).min().unwrap();
+    let p99 = reports.iter().map(|r| r.p99_us).min().unwrap();
     table.row(vec![
         sessions.to_string(),
         per_session.to_string(),
-        report.sched.clone(),
-        report.committed.to_string(),
-        f2(report.wall.as_secs_f64() * 1e3),
-        f2(report.throughput),
-        report.p50_us.to_string(),
-        report.p95_us.to_string(),
-        report.p99_us.to_string(),
+        reports[0].sched.clone(),
+        reports[0].committed.to_string(),
+        f2(wall.as_secs_f64() * 1e3),
+        f2(throughput),
+        p50.to_string(),
+        p95.to_string(),
+        p99.to_string(),
     ]);
     table
 }

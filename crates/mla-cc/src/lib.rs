@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod cert_guard;
 pub mod hier_lock;
 pub mod mla_detect;
 pub mod mla_prevent;
@@ -35,6 +36,7 @@ pub mod waits;
 pub mod window;
 
 pub use admission::AdmissionView;
+pub use cert_guard::{CertAdmit, CertGuard};
 pub use hier_lock::HierLocking;
 pub use mla_detect::MlaDetect;
 pub use mla_prevent::MlaPrevent;

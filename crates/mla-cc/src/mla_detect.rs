@@ -34,6 +34,7 @@ use mla_storage::StepRecord;
 use mla_txn::RuntimeSpec;
 
 use crate::admission::AdmissionView;
+use crate::cert_guard::{CertAdmit, CertGuard};
 use crate::victim::VictimPolicy;
 use crate::window::LiveWindow;
 
@@ -53,15 +54,14 @@ pub struct MlaDetect {
     /// decision, charging the old per-step batch cost through the same
     /// code path.
     full_rebuild: bool,
-    /// A §5 static safety certificate from `mla-lint`: while it holds,
-    /// in-footprint steps are granted without any closure maintenance.
-    cert: Option<StaticCert>,
+    /// A §5 per-universe certificate lattice from `mla-lint` plus its
+    /// armed state: while a universe is armed, its in-footprint steps
+    /// are granted without any closure maintenance.
+    guard: Option<CertGuard>,
     /// Closure checks performed (for the E5 cost accounting).
     pub checks: u64,
     /// Checks that found a cycle.
     pub cycles_found: u64,
-    /// Decisions granted on the certificate fast path (A7 accounting).
-    pub certified_skips: u64,
 }
 
 impl MlaDetect {
@@ -146,26 +146,52 @@ impl MlaDetect {
             window: LiveWindow::new(),
             policy,
             full_rebuild: false,
-            cert: None,
+            guard: None,
             checks: 0,
             cycles_found: 0,
-            certified_skips: 0,
         }
     }
 
-    /// Arms the certified fast path with an `mla-lint` [`StaticCert`]:
-    /// every step inside its footprints is granted after an O(log n)
-    /// guard, with no closure engine at all — the certificate proves no
-    /// interleaving of the certified workload can close a closure cycle,
-    /// which is precisely the only thing [`decide`](Control::decide)
-    /// would otherwise check. Decision-for-decision identical to the
-    /// uncertified control on certified workloads.
+    /// Decisions granted on the certificate fast path, across every
+    /// universe (A7/A8 accounting).
+    pub fn certified_skips(&self) -> u64 {
+        self.guard.as_ref().map(CertGuard::total_skips).unwrap_or(0)
+    }
+
+    /// Fast-path grants split per universe (empty without a
+    /// certificate).
+    pub fn certified_skips_per_universe(&self) -> Vec<u64> {
+        self.guard
+            .as_ref()
+            .map(|g| g.skips.clone())
+            .unwrap_or_default()
+    }
+
+    /// Universe-disarm events caused by off-footprint strays.
+    pub fn cert_voids(&self) -> u64 {
+        self.guard.as_ref().map(|g| g.voids).unwrap_or(0)
+    }
+
+    /// Arms the certified fast path with an `mla-lint` [`StaticCert`]
+    /// lattice: every step inside an **armed universe's** footprints is
+    /// granted after an O(log n) guard, with no closure maintenance at
+    /// all — the per-universe proof guarantees no realizable closure
+    /// cycle passes through that universe's transactions, which is
+    /// precisely the only thing [`decide`](Control::decide) would
+    /// otherwise check. Uncertified universes' steps go through the
+    /// engine as usual, and because certified transactions can sit on no
+    /// realizable cycle, omitting their steps from the engine changes no
+    /// verdict: decision-for-decision identical to the uncertified
+    /// control.
     ///
-    /// A step *outside* its transaction's certified footprint voids the
-    /// certificate (this is not the workload that was certified): the
-    /// engine is rebuilt by replaying the journal — guaranteed acyclic,
-    /// since every replayed step passed the guard — and the control
-    /// continues uncertified, fast path permanently off.
+    /// A step *outside* its transaction's certified footprint voids
+    /// certificates **per universe** (see [`CertGuard`]): the stray's
+    /// own universe and every armed universe whose entities it touched
+    /// are disarmed, the engine is caught up by replaying the journal —
+    /// guaranteed acyclic, since every granted step either passed the
+    /// engine or was certified — and those universes stay on the engine
+    /// path for the rest of the run (`MlaPrevent` re-arms; the detector
+    /// keeps voiding permanent). Untouched universes keep skipping.
     pub fn with_static_cert(mut self, cert: StaticCert) -> Self {
         assert!(
             self.engine.is_none(),
@@ -176,8 +202,28 @@ impl MlaDetect {
             BreakpointSpecification::k(&self.spec),
             "certificate depth must match the spec"
         );
-        self.cert = Some(cert);
+        self.guard = Some(CertGuard::new(cert, false));
         self
+    }
+
+    /// Catches the engine up on every step granted so far (certified
+    /// skips included): fresh backend, full journal replay. Called when
+    /// an off-footprint stray disarms a universe whose steps the engine
+    /// has never seen.
+    fn catch_up_engine<V: AdmissionView + ?Sized>(&mut self, view: &V) {
+        let mut engine = EngineBackend::with_parallelism(
+            view.nest().clone(),
+            self.spec.clone(),
+            self.shards,
+            self.workers,
+        );
+        for s in view.history_steps() {
+            engine
+                .apply_step(s)
+                .expect("certified history must replay acyclically");
+            engine.commit_step();
+        }
+        self.engine = Some(engine);
     }
 
     /// The decision procedure, against any [`AdmissionView`] — the
@@ -185,29 +231,21 @@ impl MlaDetect {
     /// [`Control`] impl is a thin delegation to this.
     pub fn decide_view<V: AdmissionView + ?Sized>(&mut self, txn: TxnId, view: &V) -> Decision {
         let candidate = view.candidate(txn);
-        if let Some(cert) = &self.cert {
-            if cert.covers(txn, candidate.entity) {
-                self.checks += 1;
-                self.certified_skips += 1;
-                return Decision::Grant;
+        if let Some(guard) = self.guard.as_mut() {
+            match guard.admit(txn, candidate.entity) {
+                CertAdmit::Skip(_) => {
+                    self.checks += 1;
+                    return Decision::Grant;
+                }
+                CertAdmit::Engine => {}
+                CertAdmit::Voided => {
+                    // An off-footprint stray just disarmed at least one
+                    // universe whose steps the engine never saw: catch
+                    // it up on everything granted so far before
+                    // deciding this step through it.
+                    self.catch_up_engine(view);
+                }
             }
-            // Off-footprint step: whatever is running, it is not the
-            // workload that was certified. Void the certificate and
-            // catch the engine up on everything granted so far.
-            self.cert = None;
-            let mut engine = EngineBackend::with_parallelism(
-                view.nest().clone(),
-                self.spec.clone(),
-                self.shards,
-                self.workers,
-            );
-            for s in view.history_steps() {
-                engine
-                    .apply_step(s)
-                    .expect("certified history must replay acyclically");
-                engine.commit_step();
-            }
-            self.engine = Some(engine);
         }
         if self.engine.is_none() {
             self.engine = Some(EngineBackend::with_parallelism(
@@ -304,7 +342,11 @@ impl Control for MlaDetect {
     }
 
     fn certified_skips(&self) -> u64 {
-        self.certified_skips
+        MlaDetect::certified_skips(self)
+    }
+
+    fn certified_skips_per_universe(&self) -> Vec<u64> {
+        MlaDetect::certified_skips_per_universe(self)
     }
 }
 
@@ -715,11 +757,17 @@ mod tests {
         assert_eq!(out_base.execution.steps(), out_fast.execution.steps());
         assert_eq!(out_base.metrics.committed, out_fast.metrics.committed);
         // Every decision went through the fast path, never the engine.
-        assert!(fast.certified_skips > 0);
-        assert_eq!(fast.certified_skips, fast.checks);
+        assert!(fast.certified_skips() > 0);
+        assert_eq!(fast.certified_skips(), fast.checks);
         assert_eq!(fast.cost(), EngineCounters::default());
-        assert_eq!(out_fast.metrics.certified_skips, fast.certified_skips);
+        assert_eq!(out_fast.metrics.certified_skips, fast.certified_skips());
         assert_eq!(out_base.metrics.certified_skips, 0);
+        // The lattice degenerates to one universe here; the split view
+        // still reconciles with the total.
+        assert_eq!(
+            fast.certified_skips_per_universe().iter().sum::<u64>(),
+            fast.certified_skips()
+        );
         assert!(oracle::is_correctable_outcome(
             &out_fast,
             &wl.nest,
@@ -772,9 +820,10 @@ mod tests {
         // The voided run granted some decisions certified, then handed
         // the rest to a journal-caught-up engine — and still produced
         // the identical history.
-        assert!(fast.certified_skips > 0, "fast path ran before voiding");
+        assert!(fast.certified_skips() > 0, "fast path ran before voiding");
+        assert!(fast.cert_voids() > 0, "the stray disarmed its universe");
         assert!(
-            fast.certified_skips < fast.checks,
+            fast.certified_skips() < fast.checks,
             "voiding must hand later decisions to the engine"
         );
         assert_ne!(fast.cost(), EngineCounters::default());

@@ -31,6 +31,7 @@ use mla_storage::StepRecord;
 use mla_txn::RuntimeSpec;
 
 use crate::admission::AdmissionView;
+use crate::cert_guard::{CertAdmit, CertGuard};
 use crate::victim::VictimPolicy;
 use crate::waits::ShardedWaits;
 use crate::window::LiveWindow;
@@ -53,14 +54,14 @@ pub struct MlaPrevent {
     /// Node capacity for rebuilding `waits` when re-sharded.
     txn_count: usize,
     policy: VictimPolicy,
-    /// A §5 static safety certificate from `mla-lint`: while it holds,
-    /// in-footprint steps are granted without closure maintenance or
-    /// breakpoint waits.
-    cert: Option<StaticCert>,
+    /// A §5 per-universe certificate lattice from `mla-lint` plus its
+    /// armed/blamed state: while a universe is armed, its in-footprint
+    /// steps are granted without closure maintenance or breakpoint
+    /// waits. Voided universes re-arm once the foreign transactions
+    /// that disarmed them drain from the live window.
+    guard: Option<CertGuard>,
     /// Steps delayed waiting for a breakpoint (E4/E6 accounting).
     pub breakpoint_waits: u64,
-    /// Decisions granted on the certificate fast path (A7 accounting).
-    pub certified_skips: u64,
     /// Grants the §6 delay rule alone would have admitted despite a
     /// cyclic candidate closure, caught by the engine's cycle rejection.
     /// Zero in every run if the rule is as sufficient as the paper
@@ -189,25 +190,57 @@ impl MlaPrevent {
             waits: ShardedWaits::new(txn_count, 1),
             txn_count,
             policy,
-            cert: None,
+            guard: None,
             breakpoint_waits: 0,
-            certified_skips: 0,
             prevention_misses: 0,
         }
     }
 
-    /// Arms the certified fast path with an `mla-lint` [`StaticCert`]:
-    /// in-footprint steps are granted immediately, with no closure
-    /// engine and — unlike the uncertified preventer — **no breakpoint
-    /// waits**: the certificate proves every interleaving of the
-    /// certified workload correctable, so the §6 delay rule has nothing
-    /// left to prevent. Histories therefore differ from the uncertified
-    /// preventer's (which defers conservatively); both are correctable.
+    /// Decisions granted on the certificate fast path, across every
+    /// universe (A7/A8 accounting).
+    pub fn certified_skips(&self) -> u64 {
+        self.guard.as_ref().map(CertGuard::total_skips).unwrap_or(0)
+    }
+
+    /// Fast-path grants split per universe (empty without a
+    /// certificate).
+    pub fn certified_skips_per_universe(&self) -> Vec<u64> {
+        self.guard
+            .as_ref()
+            .map(|g| g.skips.clone())
+            .unwrap_or_default()
+    }
+
+    /// Universe-disarm events caused by off-footprint strays.
+    pub fn cert_voids(&self) -> u64 {
+        self.guard.as_ref().map(|g| g.voids).unwrap_or(0)
+    }
+
+    /// Universes re-armed after every blamed foreign transaction
+    /// drained from the live window.
+    pub fn cert_re_arms(&self) -> u64 {
+        self.guard.as_ref().map(|g| g.re_arms).unwrap_or(0)
+    }
+
+    /// Arms the certified fast path with an `mla-lint` [`StaticCert`]
+    /// lattice: in-footprint steps of **armed universes** are granted
+    /// immediately, with no closure engine and — unlike the uncertified
+    /// preventer — **no breakpoint waits**: the per-universe proof
+    /// makes every interleaving of those transactions correctable, so
+    /// the §6 delay rule has nothing left to prevent there. Histories
+    /// therefore differ from the uncertified preventer's (which defers
+    /// conservatively); both are correctable. Uncertified universes'
+    /// steps go through the engine and the delay rule as usual.
     ///
-    /// A step outside its transaction's certified footprint voids the
-    /// certificate: the engine is rebuilt by replaying the journal
-    /// (acyclic by the certificate) and the control continues
-    /// uncertified.
+    /// A step outside its transaction's certified footprint voids
+    /// certificates per universe (see [`CertGuard`]): the engine is
+    /// caught up by replaying the journal (acyclic — every granted step
+    /// either passed the engine or was certified) and the touched
+    /// universes fall back to runtime checking. Unlike [`MlaDetect`],
+    /// the preventer **re-arms** a voided universe once every foreign
+    /// transaction blamed for it drains — it aborted, or committed and
+    /// was evicted from the live window, so its journal entries can
+    /// join no new closure cycle.
     pub fn with_static_cert(mut self, cert: StaticCert) -> Self {
         assert!(
             self.engine.is_none(),
@@ -218,8 +251,26 @@ impl MlaPrevent {
             BreakpointSpecification::k(&self.spec),
             "certificate depth must match the spec"
         );
-        self.cert = Some(cert);
+        self.guard = Some(CertGuard::new(cert, true));
         self
+    }
+
+    /// Catches the engine up on every step granted so far (certified
+    /// skips included): fresh backend, full journal replay.
+    fn catch_up_engine<V: AdmissionView + ?Sized>(&mut self, view: &V) {
+        let mut engine = EngineBackend::with_parallelism(
+            view.nest().clone(),
+            self.spec.clone(),
+            self.shards,
+            self.workers,
+        );
+        for s in view.history_steps() {
+            engine
+                .apply_step(s)
+                .expect("certified history must replay acyclically");
+            engine.commit_step();
+        }
+        self.engine = Some(engine);
     }
 
     /// The decision procedure, against any [`AdmissionView`] — the
@@ -228,27 +279,22 @@ impl MlaPrevent {
     pub fn decide_view<V: AdmissionView + ?Sized>(&mut self, txn: TxnId, view: &V) -> Decision {
         let candidate = view.candidate(txn);
         let wait_partition = candidate.entity.index();
-        if let Some(cert) = &self.cert {
-            if cert.covers(txn, candidate.entity) {
-                self.certified_skips += 1;
-                return Decision::Grant;
+        if let Some(guard) = self.guard.as_mut() {
+            // Re-arm any voided universe whose blamed strays have all
+            // drained: committed and evicted from the live window (or
+            // rolled back, handled eagerly in `aborted_view`).
+            let window = &self.window;
+            guard.sweep(|t| window.is_evicted(t));
+            match guard.admit(txn, candidate.entity) {
+                CertAdmit::Skip(_) => return Decision::Grant,
+                CertAdmit::Engine => {}
+                CertAdmit::Voided => {
+                    // A stray just disarmed at least one universe whose
+                    // steps the engine never saw: catch it up on the
+                    // journal before deciding this step through it.
+                    self.catch_up_engine(view);
+                }
             }
-            // Off-footprint step: not the certified workload. Void the
-            // certificate and catch the engine up on the journal.
-            self.cert = None;
-            let mut engine = EngineBackend::with_parallelism(
-                view.nest().clone(),
-                self.spec.clone(),
-                self.shards,
-                self.workers,
-            );
-            for s in view.history_steps() {
-                engine
-                    .apply_step(s)
-                    .expect("certified history must replay acyclically");
-                engine.commit_step();
-            }
-            self.engine = Some(engine);
         }
         if self.engine.is_none() {
             self.engine = Some(EngineBackend::with_parallelism(
@@ -340,12 +386,17 @@ impl MlaPrevent {
         self.waits.detach_node(txn.0);
     }
 
-    /// Records a rollback of `txn`'s steps.
+    /// Records a rollback of `txn`'s steps. A rolled-back stray's
+    /// journal entries are gone, so any certificate blame it held
+    /// drains immediately.
     pub fn aborted_view(&mut self, txn: TxnId) {
         self.window.on_aborted(txn);
         self.waits.detach_node(txn.0);
         if let Some(engine) = self.engine.as_mut() {
             engine.remove_txn(txn);
+        }
+        if let Some(guard) = self.guard.as_mut() {
+            guard.on_aborted(txn);
         }
     }
 }
@@ -387,7 +438,15 @@ impl Control for MlaPrevent {
     }
 
     fn certified_skips(&self) -> u64 {
-        self.certified_skips
+        MlaPrevent::certified_skips(self)
+    }
+
+    fn certified_skips_per_universe(&self) -> Vec<u64> {
+        MlaPrevent::certified_skips_per_universe(self)
+    }
+
+    fn cert_re_arms(&self) -> u64 {
+        MlaPrevent::cert_re_arms(self)
     }
 }
 
@@ -650,8 +709,8 @@ mod tests {
         // Every step granted straight off the certificate: no closure
         // engine, no breakpoint waits, no defers at all.
         assert_eq!(out.metrics.committed as usize, wl.txn_count());
-        assert!(control.certified_skips > 0);
-        assert_eq!(out.metrics.certified_skips, control.certified_skips);
+        assert!(control.certified_skips() > 0);
+        assert_eq!(out.metrics.certified_skips, control.certified_skips());
         assert_eq!(out.metrics.defers, 0);
         assert_eq!(control.breakpoint_waits, 0);
         assert_eq!(control.prevention_misses, 0);
@@ -659,5 +718,84 @@ mod tests {
         // Grant-all under a certificate is sound: the certificate proves
         // every interleaving correctable, and the oracle agrees.
         assert!(oracle::is_correctable_outcome(&out, &wl.nest, &wl.spec()));
+    }
+
+    #[test]
+    fn voided_cert_re_arms_after_the_stray_drains() {
+        let p = mla_workload::partitioned::generate(mla_workload::partitioned::PartitionedConfig {
+            partitions: 2,
+            txns_per_partition: 10,
+            scanner_len: 6,
+            arrival_spacing: 4,
+        });
+        let wl = &p.workload;
+        let real = mla_lint::certify_workload(wl)
+            .cert
+            .expect("partitioned workload must certify");
+        // Doctor the certificate: empty the first-arriving transaction's
+        // footprint, so its very first step is an off-footprint stray and
+        // its universe is disarmed before earning a single skip. Every
+        // later skip recorded for that universe can therefore only have
+        // happened after the blame drained and the universe re-armed.
+        let first = wl
+            .arrivals
+            .iter()
+            .enumerate()
+            .min_by_key(|&(t, &at)| (at, t))
+            .map(|(t, _)| t)
+            .unwrap();
+        let footprints: Vec<Vec<EntityId>> = (0..wl.txn_count())
+            .map(|t| {
+                if t == first {
+                    Vec::new()
+                } else {
+                    real.footprint(TxnId(t as u32)).to_vec()
+                }
+            })
+            .collect();
+        let universes: Vec<u32> = (0..wl.txn_count())
+            .map(|t| real.universe_of(TxnId(t as u32)).unwrap())
+            .collect();
+        let certified: Vec<bool> = (0..real.universe_count() as u32)
+            .map(|u| real.is_certified(u))
+            .collect();
+        let doctored =
+            mla_core::cert::StaticCert::per_universe(real.k(), footprints, universes, certified);
+        let stray_universe = doctored.universe_of(TxnId(first as u32)).unwrap() as usize;
+        let config = SimConfig::seeded(5);
+        let mut fast = MlaPrevent::new(wl.txn_count(), wl.spec(), VictimPolicy::FewestSteps)
+            .with_static_cert(doctored);
+        let out_fast = run(
+            wl.nest.clone(),
+            wl.instances(),
+            wl.initial.iter().copied(),
+            &wl.arrivals,
+            &config,
+            &mut fast,
+        );
+        assert!(fast.cert_voids() > 0, "the stray never disarmed anything");
+        assert!(
+            fast.cert_re_arms() > 0,
+            "the universe never re-armed after the stray drained"
+        );
+        let per = fast.certified_skips_per_universe();
+        assert!(
+            per[stray_universe] > 0,
+            "a re-armed certificate must demonstrably skip again"
+        );
+        assert_ne!(
+            fast.cost(),
+            EngineCounters::default(),
+            "the stray's own steps must go through the engine"
+        );
+        // Voiding and re-arming may legally change *when* steps are
+        // granted (a certified skip waives a breakpoint wait), but never
+        // whether the run completes or stays inside Theorem 2.
+        assert_eq!(out_fast.metrics.committed as usize, wl.txn_count());
+        assert!(oracle::is_correctable_outcome(
+            &out_fast,
+            &wl.nest,
+            &wl.spec()
+        ));
     }
 }

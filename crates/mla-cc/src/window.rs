@@ -177,6 +177,13 @@ impl LiveWindow {
         self.evicted.len()
     }
 
+    /// Whether `txn` is committed and projected out of the window — its
+    /// steps can join no new closure cycle (the certificate re-arm
+    /// protocol's drain condition).
+    pub fn is_evicted(&self, txn: TxnId) -> bool {
+        self.evicted.contains(&txn)
+    }
+
     /// The window execution: the live journal minus evicted transactions,
     /// optionally extended with a hypothetical next step (the candidate
     /// the control is deciding about).

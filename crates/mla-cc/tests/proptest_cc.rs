@@ -2,9 +2,11 @@
 //! every control, every history re-checked against the offline theory.
 
 use mla_cc::{
-    oracle, MlaDetect, MlaPrevent, SerialControl, SgtControl, TimestampOrdering, TwoPhaseLocking,
-    VictimPolicy,
+    oracle, CertAdmit, CertGuard, MlaDetect, MlaPrevent, SerialControl, SgtControl,
+    TimestampOrdering, TwoPhaseLocking, VictimPolicy,
 };
+use mla_core::cert::StaticCert;
+use mla_model::{EntityId, TxnId};
 use mla_sim::{run, Control, SimConfig};
 use mla_workload::synthetic::{generate, SyntheticConfig};
 use proptest::prelude::*;
@@ -121,5 +123,87 @@ proptest! {
         prop_assert_eq!(prevent.prevention_misses, 0, "the §6 rule needed its fallback");
         prop_assert!(oracle::is_correctable_outcome(&out, &wl2.nest, &wl2.spec()),
             "prevent violated Theorem 2 on {:?}", p);
+    }
+
+    /// The re-arm protocol, under randomized foreign footprints: while
+    /// a straying foreign transaction is live, every universe it
+    /// touched must refuse the fast path; the moment it drains (and
+    /// only then), each of those universes re-arms and earns at least
+    /// one more certified skip. Universes the stray never touched keep
+    /// skipping throughout, and condemned universes never skip at all.
+    #[test]
+    fn voided_certificates_rearm_only_after_the_stray_drains(
+        universes in 1usize..4,
+        txns_per in 1usize..4,
+        certified_bits in proptest::collection::vec(any::<bool>(), 3),
+        stray_entities in proptest::collection::vec(0u32..40, 1..6),
+    ) {
+        // Universe u owns entities u*10 .. : txn i of u gets the private
+        // entity u*10+i plus the universe-shared u*10+9. At least one
+        // universe is certified so the guard has something to void.
+        let mut footprints = Vec::new();
+        let mut universe_ids = Vec::new();
+        for u in 0..universes {
+            for i in 0..txns_per {
+                footprints.push(vec![
+                    EntityId((u * 10 + i) as u32),
+                    EntityId((u * 10 + 9) as u32),
+                ]);
+                universe_ids.push(u as u32);
+            }
+        }
+        let mut certified: Vec<bool> =
+            (0..universes).map(|u| certified_bits[u]).collect();
+        if certified.iter().all(|&c| !c) {
+            certified[0] = true;
+        }
+        let cert = StaticCert::per_universe(3, footprints, universe_ids, certified.clone());
+        let mut guard = CertGuard::new(cert.clone(), true);
+        let total = universes * txns_per;
+        let foreign = TxnId(total as u32);
+
+        let expect = |guard: &mut CertGuard, disarmed: &[bool]| -> Result<(), TestCaseError> {
+            for t in 0..total {
+                let u = t / txns_per;
+                let step = EntityId((u * 10 + t % txns_per) as u32);
+                let admit = guard.admit(TxnId(t as u32), step);
+                if certified[u] && !disarmed[u] {
+                    prop_assert_eq!(admit, CertAdmit::Skip(u as u32));
+                } else {
+                    prop_assert_eq!(admit, CertAdmit::Engine);
+                }
+            }
+            Ok(())
+        };
+
+        let armed_before = vec![false; universes];
+        expect(&mut guard, &armed_before)?;
+
+        // The foreign transaction strays over its randomized footprint.
+        // Every certified universe whose entity union holds a strayed
+        // entity is disarmed at first contact.
+        let mut disarmed = vec![false; universes];
+        for &raw in &stray_entities {
+            guard.admit(foreign, EntityId(raw));
+            for (u, hit) in disarmed.iter_mut().enumerate() {
+                if certified[u] && cert.universe_entities(u as u32).contains(&EntityId(raw)) {
+                    *hit = true;
+                }
+            }
+        }
+        // While the stray is live: no skip from any touched universe.
+        expect(&mut guard, &disarmed)?;
+        // A sweep that drains nothing changes nothing.
+        guard.sweep(|_| false);
+        expect(&mut guard, &disarmed)?;
+
+        // The stray drains: every touched universe re-arms and skips
+        // again, exactly once per disarmed universe.
+        guard.sweep(|t| t == foreign);
+        prop_assert_eq!(
+            guard.re_arms,
+            disarmed.iter().filter(|&&d| d).count() as u64
+        );
+        expect(&mut guard, &armed_before)?;
     }
 }

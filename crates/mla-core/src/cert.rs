@@ -2,17 +2,30 @@
 //! certification pass.
 //!
 //! The lint crate analyzes a workload's may-conflict structure over
-//! breakpoint-free segments and, when **no** interleaving can produce a
-//! coherent-closure cycle, issues a [`StaticCert`]. The certificate
-//! records, per transaction, the may-footprint the proof was carried out
-//! against; a scheduler holding the certificate
-//! (`MlaDetect::with_static_cert` / `MlaPrevent::with_static_cert` in
-//! `mla-cc`) may grant any step whose entity lies inside its
-//! transaction's recorded footprint without consulting the closure
-//! engine at all — the theorem guarantees the resulting history is
-//! correctable whatever the interleaving. A step *outside* its recorded
-//! footprint voids the certificate (the workload is not the one that was
-//! certified) and the scheduler falls back to runtime checking.
+//! breakpoint-free segments and issues a [`StaticCert`] describing, per
+//! **universe** (top-level nest class), whether any interleaving of the
+//! workload can close a coherent-closure cycle through that universe's
+//! transactions. The certificate records, per transaction, the
+//! may-footprint the proof was carried out against, the transaction's
+//! universe, and the per-universe verdict lattice; a scheduler holding
+//! the certificate (`MlaDetect::with_static_cert` /
+//! `MlaPrevent::with_static_cert` in `mla-cc`) may grant any step whose
+//! entity lies inside its transaction's recorded footprint — provided
+//! the transaction's universe is certified — without consulting the
+//! closure engine at all. The theorem guarantees the resulting history
+//! is correctable whatever the interleaving, *and* that omitting the
+//! certified universes' steps from the runtime engine changes no
+//! verdict: a realizable closure cycle can never pass through a
+//! certified transaction, and per-entity order is directly transitive,
+//! so the engine's sub-closure detects exactly the same cycles.
+//!
+//! A step *outside* its recorded footprint is evidence the run is not
+//! the one that was certified. Voiding is per-universe: the straying
+//! transaction's own universe plus every certified universe whose
+//! recorded entity set contains the strayed entity are disarmed (their
+//! proofs assumed the strayer's footprint), while unrelated universes
+//! keep the fast path. The disarm/re-arm state machine lives in the
+//! schedulers; the certificate itself is immutable.
 //!
 //! The type lives here rather than in `mla-lint` so schedulers can
 //! consume certificates without depending on the analyzer. Constructing
@@ -20,9 +33,11 @@
 
 use mla_model::{EntityId, TxnId};
 
-/// A certificate that no coherent-closure cycle is realizable under any
-/// interleaving of the certified transactions — §5's characterization
-/// discharged statically.
+/// A per-universe lattice of §5 certifications: for each universe
+/// (top-level nest class), whether no coherent-closure cycle is
+/// realizable through its transactions under any interleaving — the
+/// paper's characterization discharged statically, at the grain the
+/// nest actually has.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StaticCert {
     k: usize,
@@ -30,22 +45,69 @@ pub struct StaticCert {
     /// dense [`TxnId`]. The proof covers exactly runs whose every step
     /// stays inside these sets.
     footprints: Vec<Vec<EntityId>>,
+    /// Per-transaction universe ids, dense in `0..certified.len()`.
+    universe: Vec<u32>,
+    /// Per-universe verdicts: `certified[u]` means no mixed cycle can
+    /// pass through any transaction of universe `u`.
+    certified: Vec<bool>,
+    /// Per-universe entity unions (sorted, deduplicated): the entities a
+    /// universe's proof is sensitive to. Used by the schedulers to scope
+    /// off-footprint voiding.
+    entities: Vec<Vec<EntityId>>,
 }
 
 impl StaticCert {
-    /// Wraps a verified analysis result. `footprints[t]` is transaction
-    /// `t`'s may-footprint; sets are sorted and deduplicated here so
+    /// Wraps a verified analysis result with a single, certified
+    /// universe — the pre-lattice shape, kept for callers that certify
+    /// all-or-nothing. `footprints[t]` is transaction `t`'s
+    /// may-footprint; sets are sorted and deduplicated here so
     /// [`StaticCert::covers`] can binary-search.
     ///
     /// Issuing a certificate asserts the §5 no-mixed-cycle property was
     /// actually proven for these footprints — callers other than
     /// `mla-lint`'s certification pass must bring their own proof.
-    pub fn new(k: usize, mut footprints: Vec<Vec<EntityId>>) -> Self {
+    pub fn new(k: usize, footprints: Vec<Vec<EntityId>>) -> Self {
+        let universe = vec![0; footprints.len()];
+        StaticCert::per_universe(k, footprints, universe, vec![true])
+    }
+
+    /// Wraps a verified per-universe analysis result. `universe[t]` is
+    /// transaction `t`'s universe id (dense, `< certified.len()`), and
+    /// `certified[u]` is universe `u`'s verdict.
+    pub fn per_universe(
+        k: usize,
+        mut footprints: Vec<Vec<EntityId>>,
+        universe: Vec<u32>,
+        certified: Vec<bool>,
+    ) -> Self {
+        assert_eq!(
+            universe.len(),
+            footprints.len(),
+            "one universe id per transaction"
+        );
+        assert!(
+            universe.iter().all(|&u| (u as usize) < certified.len()),
+            "universe ids must be dense in 0..certified.len()"
+        );
         for fp in &mut footprints {
             fp.sort_unstable();
             fp.dedup();
         }
-        StaticCert { k, footprints }
+        let mut entities: Vec<Vec<EntityId>> = vec![Vec::new(); certified.len()];
+        for (t, fp) in footprints.iter().enumerate() {
+            entities[universe[t] as usize].extend(fp.iter().copied());
+        }
+        for es in &mut entities {
+            es.sort_unstable();
+            es.dedup();
+        }
+        StaticCert {
+            k,
+            footprints,
+            universe,
+            certified,
+            entities,
+        }
     }
 
     /// The certified nest depth.
@@ -58,10 +120,56 @@ impl StaticCert {
         self.footprints.len()
     }
 
+    /// Number of universes in the lattice.
+    pub fn universe_count(&self) -> usize {
+        self.certified.len()
+    }
+
+    /// The universe of `txn`, or `None` for out-of-range (foreign)
+    /// transactions.
+    pub fn universe_of(&self, txn: TxnId) -> Option<u32> {
+        self.universe.get(txn.index()).copied()
+    }
+
+    /// Whether universe `u`'s no-mixed-cycle property was proven.
+    pub fn is_certified(&self, u: u32) -> bool {
+        self.certified.get(u as usize).copied().unwrap_or(false)
+    }
+
+    /// The certified universe ids, ascending.
+    pub fn certified_universes(&self) -> Vec<u32> {
+        (0..self.certified.len() as u32)
+            .filter(|&u| self.certified[u as usize])
+            .collect()
+    }
+
+    /// Whether every universe is certified (the pre-lattice global
+    /// verdict).
+    pub fn fully_certified(&self) -> bool {
+        self.certified.iter().all(|&c| c)
+    }
+
+    /// Whether at least one universe is certified (the lattice is worth
+    /// attaching).
+    pub fn any_certified(&self) -> bool {
+        self.certified.iter().any(|&c| c)
+    }
+
     /// Whether a step of `txn` on `entity` is inside the certified
-    /// footprint (false for out-of-range transactions). This is the O(log
-    /// n) runtime guard on the certified fast path.
+    /// footprint of a **certified** universe (false for out-of-range
+    /// transactions). This is the O(log n) runtime guard on the
+    /// certified fast path.
     pub fn covers(&self, txn: TxnId, entity: EntityId) -> bool {
+        self.universe_of(txn).is_some_and(|u| self.is_certified(u))
+            && self.footprint_contains(txn, entity)
+    }
+
+    /// Whether `entity` lies inside `txn`'s recorded may-footprint,
+    /// regardless of its universe's verdict (false for out-of-range
+    /// transactions). The schedulers use this to detect strays even from
+    /// uncertified universes, whose conflicts the certified proofs still
+    /// relied on.
+    pub fn footprint_contains(&self, txn: TxnId, entity: EntityId) -> bool {
         self.footprints
             .get(txn.index())
             .is_some_and(|fp| fp.binary_search(&entity).is_ok())
@@ -71,6 +179,17 @@ impl StaticCert {
     pub fn footprint(&self, txn: TxnId) -> &[EntityId] {
         self.footprints
             .get(txn.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The entity union of universe `u` (empty for out-of-range ids):
+    /// every entity some transaction of `u` may touch, i.e. the entities
+    /// whose off-footprint use by a foreign transaction invalidates
+    /// `u`'s proof.
+    pub fn universe_entities(&self, u: u32) -> &[EntityId] {
+        self.entities
+            .get(u as usize)
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
@@ -85,6 +204,8 @@ mod tests {
         let cert = StaticCert::new(3, vec![vec![EntityId(9), EntityId(3), EntityId(3)], vec![]]);
         assert_eq!(cert.k(), 3);
         assert_eq!(cert.txn_count(), 2);
+        assert_eq!(cert.universe_count(), 1);
+        assert!(cert.fully_certified());
         assert!(cert.covers(TxnId(0), EntityId(3)));
         assert!(cert.covers(TxnId(0), EntityId(9)));
         assert!(!cert.covers(TxnId(0), EntityId(4)));
@@ -92,5 +213,41 @@ mod tests {
         assert!(!cert.covers(TxnId(7), EntityId(3)), "unknown transaction");
         assert_eq!(cert.footprint(TxnId(0)), &[EntityId(3), EntityId(9)]);
         assert_eq!(cert.footprint(TxnId(7)), &[] as &[EntityId]);
+        assert_eq!(
+            cert.universe_entities(0),
+            &[EntityId(3), EntityId(9)],
+            "single universe unions all footprints"
+        );
+    }
+
+    #[test]
+    fn per_universe_lattice_scopes_the_guard() {
+        // Universe 0 (txns 0, 1) certified on {1, 2}; universe 1 (txn 2)
+        // condemned on {7}.
+        let cert = StaticCert::per_universe(
+            3,
+            vec![vec![EntityId(1)], vec![EntityId(2)], vec![EntityId(7)]],
+            vec![0, 0, 1],
+            vec![true, false],
+        );
+        assert_eq!(cert.universe_count(), 2);
+        assert!(!cert.fully_certified());
+        assert!(cert.any_certified());
+        assert_eq!(cert.certified_universes(), vec![0]);
+        assert!(cert.covers(TxnId(0), EntityId(1)));
+        assert!(cert.covers(TxnId(1), EntityId(2)));
+        assert!(
+            !cert.covers(TxnId(2), EntityId(7)),
+            "condemned universe never rides the fast path"
+        );
+        assert!(
+            cert.footprint_contains(TxnId(2), EntityId(7)),
+            "but its footprint is still recorded"
+        );
+        assert_eq!(cert.universe_of(TxnId(2)), Some(1));
+        assert_eq!(cert.universe_of(TxnId(9)), None, "foreign transaction");
+        assert_eq!(cert.universe_entities(0), &[EntityId(1), EntityId(2)]);
+        assert_eq!(cert.universe_entities(1), &[EntityId(7)]);
+        assert_eq!(cert.universe_entities(5), &[] as &[EntityId]);
     }
 }

@@ -41,6 +41,17 @@ pub enum Code {
     /// MLA022: certification abstained — a transaction's entity
     /// footprint is not statically known.
     FootprintUnknown,
+    /// MLA023: a universe (top-level nest class) was certified — every
+    /// realizable closure cycle avoids its transactions.
+    UniverseCertified,
+    /// MLA024: a universe was condemned — a mixed strongly connected
+    /// component of the may-conflict graph names one of its
+    /// transactions; the diagnostic carries the condemning cycle.
+    UniverseCondemned,
+    /// MLA025: the footprint dataflow refinement pruned a spurious
+    /// backward edge (its two conflict orientations cannot co-occur in
+    /// one history).
+    EdgeRefined,
 }
 
 impl Code {
@@ -57,6 +68,9 @@ impl Code {
             Code::CertIssued => "MLA020",
             Code::CertDenied => "MLA021",
             Code::FootprintUnknown => "MLA022",
+            Code::UniverseCertified => "MLA023",
+            Code::UniverseCondemned => "MLA024",
+            Code::EdgeRefined => "MLA025",
         }
     }
 
@@ -73,6 +87,9 @@ impl Code {
             Code::CertIssued => "§5 Theorem 2, discharged statically",
             Code::CertDenied => "§5 Theorem 2, discharged statically",
             Code::FootprintUnknown => "§3 entity footprint",
+            Code::UniverseCertified => "§5 Theorem 2, per top-level class",
+            Code::UniverseCondemned => "§5 Theorem 2, per top-level class",
+            Code::EdgeRefined => "§5 may-conflict refinement",
         }
     }
 }
@@ -118,6 +135,8 @@ pub enum Span {
     Txn(TxnId),
     /// A position inside one transaction (after `pos` performed steps).
     TxnPos(TxnId, usize),
+    /// One universe (top-level nest class) of the certification lattice.
+    Universe(u32),
 }
 
 impl std::fmt::Display for Span {
@@ -127,6 +146,7 @@ impl std::fmt::Display for Span {
             Span::Level(i) => write!(f, "level {i}"),
             Span::Txn(t) => write!(f, "t{}", t.0),
             Span::TxnPos(t, p) => write!(f, "t{}@{p}", t.0),
+            Span::Universe(u) => write!(f, "universe {u}"),
         }
     }
 }
@@ -166,8 +186,14 @@ pub struct Report {
     pub k: usize,
     /// Transactions analyzed.
     pub txn_count: usize,
-    /// Whether the certification pass issued a [`mla_core::StaticCert`].
+    /// Whether the certification pass certified **every** universe (the
+    /// pre-lattice all-or-nothing verdict).
     pub certified: bool,
+    /// Universes (top-level nest classes) in the certification lattice
+    /// (0 when the pass abstained).
+    pub universe_count: usize,
+    /// The universes that individually certified, ascending.
+    pub certified_universes: Vec<u32>,
     /// Findings, sorted errors-first then by code and span.
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -189,9 +215,15 @@ impl Report {
     /// The human-readable table.
     pub fn render(&self) -> String {
         let verdict = if self.certified {
-            "certified"
+            "certified".to_string()
+        } else if !self.certified_universes.is_empty() {
+            format!(
+                "partially certified ({}/{} universes)",
+                self.certified_universes.len(),
+                self.universe_count
+            )
         } else {
-            "not certified"
+            "not certified".to_string()
         };
         let mut out = format!(
             "mla-lint: {} (k={}, {} txns) — {}\n",
@@ -245,12 +277,21 @@ impl Report {
     /// The machine-readable report, hand-rolled JSON (the workspace
     /// carries no serializer dependency).
     pub fn to_json(&self) -> String {
+        let universes = self
+            .certified_universes
+            .iter()
+            .map(|u| u.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         let mut s = format!(
-            "{{\"workload\":\"{}\",\"k\":{},\"txns\":{},\"certified\":{},\"diagnostics\":[",
+            "{{\"workload\":\"{}\",\"k\":{},\"txns\":{},\"certified\":{},\
+             \"universes\":{},\"certified_universes\":[{}],\"diagnostics\":[",
             esc(&self.workload),
             self.k,
             self.txn_count,
-            self.certified
+            self.certified,
+            self.universe_count,
+            universes
         );
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
@@ -303,6 +344,8 @@ mod tests {
             k: 3,
             txn_count: 2,
             certified: true,
+            universe_count: 1,
+            certified_universes: vec![0],
             diagnostics: vec![
                 Diagnostic::new(Code::CertIssued, Severity::Note, Span::Spec, "ok"),
                 Diagnostic::new(
@@ -324,6 +367,28 @@ mod tests {
         assert!(json.contains("\"code\":\"MLA001\""));
         assert!(json.contains("\"certified\":true"));
         assert!(json.contains("\"where\":\"t1\""));
+        assert!(json.contains("\"universes\":1"));
+        assert!(json.contains("\"certified_universes\":[0]"));
+    }
+
+    #[test]
+    fn partial_certification_renders_the_fraction() {
+        let r = Report {
+            workload: "mix".into(),
+            k: 4,
+            txn_count: 12,
+            certified: false,
+            universe_count: 3,
+            certified_universes: vec![1],
+            diagnostics: Vec::new(),
+        };
+        assert!(r.render().contains("partially certified (1/3 universes)"));
+        assert!(r.to_json().contains("\"certified_universes\":[1]"));
+        let none = Report {
+            certified_universes: Vec::new(),
+            ..r
+        };
+        assert!(none.render().contains("— not certified"));
     }
 
     #[test]

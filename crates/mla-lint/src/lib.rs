@@ -15,9 +15,12 @@
 //!    partner can ever use.
 //! 3. **Static safety certification** ([`certify`], `MLA02x`) — §5's
 //!    Theorem 2 discharged over *all* interleavings at once via a
-//!    may-conflict graph over breakpoint-free segments; success mints a
-//!    [`mla_core::StaticCert`] that lets the `mla-cc` schedulers skip
-//!    incremental closure maintenance entirely.
+//!    may-conflict graph over breakpoint-free segments, refined to a
+//!    **per-universe lattice** (one verdict per top-level nest class,
+//!    with orientation-consistency pruning of spurious backward edges);
+//!    any certified universe mints a [`mla_core::StaticCert`] that lets
+//!    the `mla-cc` schedulers skip incremental closure maintenance for
+//!    that universe's transactions.
 //!
 //! The `mla-lint` binary runs all three passes over the shipped
 //! workloads and renders a human table or JSON.
@@ -43,11 +46,21 @@ pub fn analyze(workload: &Workload) -> Report {
     diagnostics.extend(smells::run(workload));
     let certification = certify_workload(workload);
     diagnostics.extend(certification.diagnostics);
+    let (universe_count, certified_universes) = certification
+        .lattice
+        .as_ref()
+        .map(|l| (l.universe_count(), l.certified_universes()))
+        .unwrap_or((0, Vec::new()));
     let mut report = Report {
         workload: workload.name.clone(),
         k: workload.nest.k(),
         txn_count: workload.txn_count(),
-        certified: certification.cert.is_some(),
+        certified: certification
+            .lattice
+            .as_ref()
+            .is_some_and(|l| l.fully_certified()),
+        universe_count,
+        certified_universes,
         diagnostics,
     };
     report.sort();
@@ -57,7 +70,7 @@ pub fn analyze(workload: &Workload) -> Report {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mla_workload::{banking, partitioned};
+    use mla_workload::{banking, mixed, partitioned};
 
     #[test]
     fn partitioned_report_is_certified_and_clean_of_warnings() {
@@ -71,6 +84,17 @@ mod tests {
             .any(|d| d.code == Code::CertIssued));
         assert!(report.render().contains("MLA020"));
         assert!(report.to_json().contains("\"certified\":true"));
+    }
+
+    #[test]
+    fn mixed_report_is_partially_certified() {
+        let wl = mixed::generate(mixed::MixedConfig::default()).workload;
+        let report = analyze(&wl);
+        assert!(!report.certified, "two universes are condemned");
+        assert_eq!(report.universe_count, 3);
+        assert!(!report.certified_universes.is_empty());
+        assert!(report.render().contains("partially certified"));
+        assert!(report.to_json().contains("\"universes\":3"));
     }
 
     #[test]

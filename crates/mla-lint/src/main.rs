@@ -1,7 +1,7 @@
 //! The `mla-lint` CLI: run the analyzer over the shipped workloads.
 //!
 //! ```text
-//! mla-lint [banking|cad|partitioned|all] [--json]
+//! mla-lint [banking|cad|mixed|partitioned|all] [--json]
 //! ```
 //!
 //! With `--json` the reports are emitted as a JSON array; otherwise as
@@ -11,7 +11,7 @@
 #![forbid(unsafe_code)]
 
 use mla_lint::analyze;
-use mla_workload::{banking, cad, partitioned, Workload};
+use mla_workload::{banking, cad, mixed, partitioned, Workload};
 
 fn workload_by_name(name: &str) -> Option<Vec<Workload>> {
     match name {
@@ -19,6 +19,9 @@ fn workload_by_name(name: &str) -> Option<Vec<Workload>> {
             banking::generate(banking::BankingConfig::default()).workload,
         ]),
         "cad" => Some(vec![cad::generate(cad::CadConfig::default()).workload]),
+        "mixed" => Some(vec![
+            mixed::generate(mixed::MixedConfig::default()).workload,
+        ]),
         "partitioned" => Some(vec![
             partitioned::generate(partitioned::PartitionedConfig::default()).workload,
         ]),
@@ -26,6 +29,7 @@ fn workload_by_name(name: &str) -> Option<Vec<Workload>> {
             let mut all = Vec::new();
             all.extend(workload_by_name("banking").unwrap());
             all.extend(workload_by_name("cad").unwrap());
+            all.extend(workload_by_name("mixed").unwrap());
             all.extend(workload_by_name("partitioned").unwrap());
             Some(all)
         }
@@ -40,7 +44,7 @@ fn main() {
         match arg.as_str() {
             "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: mla-lint [banking|cad|partitioned|all] [--json]");
+                println!("usage: mla-lint [banking|cad|mixed|partitioned|all] [--json]");
                 return;
             }
             name => targets.push(name.to_string()),
@@ -55,7 +59,7 @@ fn main() {
             Some(w) => workloads.extend(w),
             None => {
                 eprintln!(
-                    "mla-lint: unknown workload '{t}' (expected banking, cad, partitioned, or all)"
+                    "mla-lint: unknown workload '{t}' (expected banking, cad, mixed, partitioned, or all)"
                 );
                 std::process::exit(2);
             }

@@ -95,6 +95,27 @@ impl Sched {
             Sched::Prevent(s) => s.aborted_view(t),
         }
     }
+
+    fn certified_skips(&self) -> u64 {
+        match self {
+            Sched::Detect(s) => s.certified_skips(),
+            Sched::Prevent(s) => s.certified_skips(),
+        }
+    }
+
+    fn certified_skips_per_universe(&self) -> Vec<u64> {
+        match self {
+            Sched::Detect(s) => s.certified_skips_per_universe(),
+            Sched::Prevent(s) => s.certified_skips_per_universe(),
+        }
+    }
+
+    fn cert_re_arms(&self) -> u64 {
+        match self {
+            Sched::Detect(_) => 0,
+            Sched::Prevent(s) => s.cert_re_arms(),
+        }
+    }
 }
 
 /// Service configuration.
@@ -319,6 +340,14 @@ pub struct ServeReport {
     pub cert_wall: Duration,
     /// Whether a static certificate was attached.
     pub certified: bool,
+    /// Admissions granted on the certificate fast path.
+    pub certified_skips: u64,
+    /// The same fast-path grants split per universe of the certificate
+    /// lattice (empty without a certificate).
+    pub certified_skips_per_universe: Vec<u64>,
+    /// Universes re-armed after an off-footprint void (`MlaPrevent`
+    /// only).
+    pub cert_re_arms: u64,
     /// Committed transactions per second.
     pub throughput: f64,
     /// Commit latency percentiles, microseconds (first attempt → final
@@ -361,7 +390,8 @@ impl ServeReport {
              {stalls} stall breaks\n\
              latches     {lacq} acquisitions, {lw} blocked\n\
              gc          {folded} versions folded in {passes} passes, {live} live at drain\n\
-             snapshots   {checks} checks, {viol} violations",
+             snapshots   {checks} checks, {viol} violations\n\
+             certificate {skips} fast-path grants{per}, {rearms} re-arms",
             load = self.load,
             sched = self.sched,
             workers = self.workers,
@@ -384,6 +414,20 @@ impl ServeReport {
             live = self.live_versions,
             checks = self.snapshot_checks,
             viol = self.snapshot_violations,
+            skips = self.certified_skips,
+            per = if self.certified_skips_per_universe.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " (per universe: {})",
+                    self.certified_skips_per_universe
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join("/")
+                )
+            },
+            rearms = self.cert_re_arms,
         )
     }
 }
@@ -1024,6 +1068,9 @@ pub fn run(load: &ServeLoad, config: &ServeConfig) -> ServeReport {
         wall,
         cert_wall,
         certified,
+        certified_skips: g.sched.certified_skips(),
+        certified_skips_per_universe: g.sched.certified_skips_per_universe(),
+        cert_re_arms: g.sched.cert_re_arms(),
         throughput: g.commits as f64 / wall.as_secs_f64().max(1e-9),
         p50_us: pct(0.50),
         p95_us: pct(0.95),
@@ -1110,6 +1157,16 @@ mod tests {
         assert_eq!(report.committed, 128, "{}", report.render());
         assert_eq!(report.aborts, 0, "{}", report.render());
         assert_eq!(report.snapshot_violations, 0, "{}", report.render());
+        // Every grant rode the certificate fast path, and the report
+        // splits them per universe.
+        assert!(report.certified_skips > 0, "{}", report.render());
+        assert_eq!(
+            report.certified_skips_per_universe.iter().sum::<u64>(),
+            report.certified_skips,
+            "{}",
+            report.render()
+        );
+        assert!(report.render().contains("fast-path grants"));
     }
 
     #[test]

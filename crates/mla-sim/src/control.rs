@@ -86,6 +86,21 @@ pub trait Control {
     fn certified_skips(&self) -> u64 {
         0
     }
+
+    /// Fast-path grants split per universe (top-level nest class), for
+    /// controls holding a per-universe certificate lattice. Recorded in
+    /// [`crate::Metrics::certified_skips_per_universe`]; empty for
+    /// controls without a certificate.
+    fn certified_skips_per_universe(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Universes re-armed after an off-footprint void once the foreign
+    /// transactions blamed drained (`MlaPrevent`'s re-arm protocol).
+    /// Recorded in [`crate::Metrics::cert_re_arms`].
+    fn cert_re_arms(&self) -> u64 {
+        0
+    }
 }
 
 /// The trivial control: grants everything. Produces arbitrary

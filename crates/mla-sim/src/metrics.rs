@@ -50,6 +50,13 @@ pub struct Metrics {
     /// closure maintenance entirely (0 for controls without an
     /// `mla-lint` `StaticCert`).
     pub certified_skips: u64,
+    /// The same fast-path grants split per universe (top-level nest
+    /// class), indexed by the certificate lattice's universe ids; empty
+    /// without a per-universe certificate.
+    pub certified_skips_per_universe: Vec<u64>,
+    /// Universes re-armed after an off-footprint void, once every
+    /// blamed foreign transaction drained from the live window.
+    pub cert_re_arms: u64,
 }
 
 impl Metrics {
